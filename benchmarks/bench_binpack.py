@@ -1,0 +1,54 @@
+"""Benchmark: Algorithm 1 packing throughput (§3.2.2).
+
+The paper claims ~1 second to prepare ~100 k batches from ~1 M molecular
+graph samples on one CPU.  This benchmark times exactly that workload on
+the composite dataset distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import build_spec
+from repro.distribution import create_balanced_batches, evaluate_bins
+
+CAPACITY = 3072
+
+
+@pytest.fixture(scope="module")
+def million_sizes():
+    spec = build_spec("large", seed=0)
+    return spec.n_atoms[:1_000_000]
+
+
+def test_pack_one_million_samples(benchmark, million_sizes):
+    """§3.2.2: ~1 M samples -> ~10^5 bins in about one second."""
+    bins = benchmark.pedantic(
+        create_balanced_batches, args=(million_sizes, CAPACITY, 64), rounds=3
+    )
+    m = evaluate_bins(bins, million_sizes)
+    benchmark.extra_info["num_bins"] = m.num_bins
+    benchmark.extra_info["padding_fraction"] = round(m.padding_fraction, 5)
+    benchmark.extra_info["load_cv"] = round(m.load_cv, 5)
+    print(
+        f"\n[binpack] 1M samples -> {m.num_bins} bins, "
+        f"padding {m.padding_fraction:.2%}, load CV {m.load_cv:.4f} "
+        f"(paper: ~100k batches in ~1 s)"
+    )
+    assert m.num_bins % 64 == 0
+
+
+def test_pack_100k_samples(benchmark, million_sizes):
+    """Packing rate at the 100 k-sample scale (sub-100 ms)."""
+    sizes = million_sizes[:100_000]
+    bins = benchmark(create_balanced_batches, sizes, CAPACITY, 8)
+    assert len(bins) > 0
+
+
+@pytest.mark.parametrize("gpus", [8, 64, 740])
+def test_pack_scaling_with_gpu_count(benchmark, million_sizes, gpus):
+    """Packing cost is insensitive to the GPU count (only rounding changes)."""
+    sizes = million_sizes[:200_000]
+    bins = benchmark.pedantic(
+        create_balanced_batches, args=(sizes, CAPACITY, gpus), rounds=2
+    )
+    assert len(bins) % gpus == 0

@@ -1,0 +1,22 @@
+"""Benchmark/harness: regenerate Figure 10 (weak scaling)."""
+
+from repro.experiments import figure10
+
+
+def test_figure10_weak_scaling(benchmark):
+    points = benchmark.pedantic(figure10.run, rounds=1)
+    print("\n" + figure10.report(points))
+    best = "MACE + load balancer + kernel optimization"
+    effs = {
+        name: figure10.weak_scaling_efficiency(points, name)
+        for name, _, _ in figure10.CONFIGS
+    }
+    # The fully optimized configuration scales flattest (paper's finding).
+    for name, e in effs.items():
+        if name != best:
+            assert abs(1 - effs[best]) <= abs(1 - e) + 0.05
+    # Baseline MACE is the slowest at every rung.
+    for _, gpus in figure10.WEAK_SETUP:
+        at = {p.config: p.epoch_minutes for p in points if p.num_gpus == gpus}
+        assert at["MACE"] == max(at.values())
+    benchmark.extra_info["weak_efficiency_optimized"] = round(effs[best], 3)

@@ -1,0 +1,30 @@
+"""Benchmark/harness: regenerate Figure 11 (bin-capacity bounds, §5.5).
+
+Paper: with Float64, compute saturates around 400 tokens (800 for Float32)
+and memory caps bins around ~2000 tokens (~4000 for Float32); for small
+clusters execution time is flat in batch size until saturation while big
+clusters scale linearly from the start.
+"""
+
+import pytest
+
+from repro.experiments import figure11
+
+
+def test_figure11_capacity_sweep(benchmark):
+    points = benchmark.pedantic(figure11.run, kwargs=dict(dtype_bytes=8), rounds=1)
+    print("\n" + figure11.report(points))
+    small = {p.batch_size: p.time_seconds for p in points if p.cluster == "small"}
+    big = {p.batch_size: p.time_seconds for p in points if p.cluster == "big"}
+    # Small clusters: flat until ~400 tokens (batch 10), then growing.
+    assert small[10] < 1.6 * small[1]
+    assert small[50] > 3.0 * small[1]
+    # Big clusters: doubling batch size doubles time (paper's observation).
+    assert big[10] / big[5] == pytest.approx(2.0, rel=0.2)
+    # Memory ceilings in the paper's ranges.
+    c64 = figure11.memory_ceiling_tokens(8)
+    c32 = figure11.memory_ceiling_tokens(4)
+    assert 1400 <= c64 <= 2800
+    assert 2800 <= c32 <= 5600
+    benchmark.extra_info["memory_ceiling_fp64"] = c64
+    benchmark.extra_info["memory_ceiling_fp32"] = c32

@@ -1,0 +1,18 @@
+"""Benchmark/harness: regenerate Figure 12 (workload distribution snapshot).
+
+Paper: with fixed-count batching the per-GPU token loads vary wildly and
+the epoch is paced by GPU 3's straggler batch; with the load balancer all
+8 GPUs receive equal token counts and more graphs fit per step.
+"""
+
+from repro.experiments import figure12
+
+
+def test_figure12_distribution(benchmark):
+    snap = benchmark.pedantic(figure12.run, rounds=1)
+    print("\n" + figure12.report(snap))
+    assert snap.balanced_straggler < 1.01
+    assert snap.fixed_straggler > 1.3
+    assert snap.balanced_graphs.sum() > snap.fixed_graphs.sum()
+    benchmark.extra_info["fixed_straggler"] = round(snap.fixed_straggler, 2)
+    benchmark.extra_info["balanced_straggler"] = round(snap.balanced_straggler, 4)

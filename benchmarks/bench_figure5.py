@@ -1,0 +1,19 @@
+"""Benchmark/harness: regenerate Figure 5 (per-system graph statistics)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark):
+    stats = benchmark.pedantic(
+        figure5.run, kwargs=dict(samples_per_system=15, seed=0), rounds=1
+    )
+    print("\n" + figure5.report(stats))
+    # The paper's qualitative claims: liquid water largest & uniform,
+    # MPtrj most size-diverse, sparsity profiles highly diverse.
+    lw = stats["Liquid water"]
+    assert lw.vertex_counts.min() == lw.vertex_counts.max() == 768
+    mp = stats["MPtrj"]
+    assert mp.vertex_counts.max() / max(mp.vertex_counts.min(), 1) > 5
+    med = sorted(float(h.sparsities.mean()) for h in stats.values())
+    assert med[-1] / max(med[0], 1e-9) > 3  # wide sparsity spread
+    benchmark.extra_info["systems"] = len(stats)

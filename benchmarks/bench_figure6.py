@@ -1,0 +1,27 @@
+"""Benchmark/harness: regenerate Figure 6 (ablation of the optimizations).
+
+Paper reference: load balancer 1.60x/2.20x/3.33x and kernel optimization
+1.74x/1.77x/1.67x on the small/medium/large splits.
+"""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+def test_figure6_ablation(benchmark):
+    rows = benchmark.pedantic(figure6.run, rounds=1)
+    print("\n" + figure6.report(rows))
+    by = {r.dataset: r for r in rows}
+    # Shape: LB speedup grows with scale, largest on the large split.
+    assert by["small"].load_balancer_speedup < by["large"].load_balancer_speedup
+    assert by["large"].load_balancer_speedup == pytest.approx(3.33, rel=0.25)
+    # Kernel speedup roughly constant ~1.7x.
+    for r in rows:
+        assert 1.4 < r.kernel_speedup < 2.0
+    benchmark.extra_info["lb_speedups"] = [
+        round(r.load_balancer_speedup, 2) for r in rows
+    ]
+    benchmark.extra_info["kernel_speedups"] = [
+        round(r.kernel_speedup, 2) for r in rows
+    ]

@@ -1,0 +1,27 @@
+"""Benchmark/harness: regenerate Figure 8 (strong-scaling speedups).
+
+Paper: the combined optimizations reach roughly 6x over baseline MACE at
+740 GPUs, with the load balancer contributing the larger share.
+"""
+
+from repro.experiments import figure7
+
+
+def test_figure8_speedups(benchmark):
+    points = benchmark.pedantic(
+        figure7.run, kwargs=dict(gpu_counts=(16, 64, 256, 740)), rounds=1
+    )
+    speedups = {
+        (p.config, p.num_gpus): p.speedup_vs_baseline for p in points
+    }
+    combined = "MACE + load balancer + kernel optimization"
+    series = [speedups[(combined, g)] for g in (16, 64, 256, 740)]
+    print("\n[figure8] combined speedup vs GPUs:", [round(s, 2) for s in series])
+    # Speedup grows with scale and lands near the paper's ~6x at 740.
+    assert all(a <= b + 0.2 for a, b in zip(series, series[1:]))
+    assert 5.0 < series[-1] < 8.5
+    # Load balancer alone beats kernel optimization alone at scale (Fig. 8).
+    lb_740 = speedups[("MACE + load balancer", 740)]
+    k_740 = speedups[("MACE + kernel optimization", 740)]
+    assert lb_740 > k_740
+    benchmark.extra_info["combined_speedup_740"] = round(series[-1], 2)

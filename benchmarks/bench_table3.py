@@ -1,0 +1,12 @@
+"""Benchmark/harness: regenerate Table 3 (dataset composition)."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(table3.run, args=("large",), rounds=1)
+    print("\n" + table3.report(rows))
+    measured = {r.dataset: r for r in rows}
+    for name, (count, _, _) in table3.PAPER_TABLE3.items():
+        assert measured[name].num_graphs == count
+    benchmark.extra_info["systems"] = len(rows)

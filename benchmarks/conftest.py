@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Heavy experiment benchmarks run with ``benchmark.pedantic(rounds=1)`` —
+they are *regeneration harnesses* whose printed tables are the artifact,
+with the timing a secondary signal.  Microbenchmarks (kernels, bin
+packing) use normal multi-round timing.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,71 @@
+"""Molecular dynamics with a trained MACE potential.
+
+The end-to-end use case that motivates the whole paper: train a machine-
+learned interatomic potential, then *run dynamics with it* orders of
+magnitude faster than the reference method.  This script:
+
+1. trains a small MACE on synthetic water clusters (energy labels from the
+   reference potential standing in for DFT);
+2. relaxes a fresh cluster with FIRE;
+3. runs NVE molecular dynamics from the relaxed structure and checks
+   energy conservation (the standard sanity test of any MLIP);
+4. runs NVT (Langevin) dynamics at 300 K.
+
+Run:  python examples/molecular_dynamics.py
+"""
+
+import numpy as np
+
+from repro import MACE, MACEConfig, Trainer
+from repro.data import attach_labels, build_training_set, generate_structure
+from repro.distribution import BalancedDistributedSampler
+from repro.graphs import build_neighbor_list
+from repro.md import MACECalculator, VelocityVerlet, fire_relax
+
+SEED = 7
+
+# -- 1. train a small potential ------------------------------------------------------
+print("training MACE on synthetic water clusters ...")
+graphs = attach_labels(
+    build_training_set(20, systems=["Water clusters"], seed=SEED, max_atoms=40)
+)
+sampler = BalancedDistributedSampler(
+    [g.n_atoms for g in graphs], capacity=128, num_replicas=1, seed=SEED
+)
+model = MACE(
+    MACEConfig(num_channels=8, lmax_sh=2, l_atomic_basis=2, correlation=2),
+    seed=SEED,
+)
+trainer = Trainer(model, graphs, lr=5e-3)
+result = trainer.fit(sampler, n_epochs=10)
+print(f"  loss {result.epoch_losses[0]:.3f} -> {result.final_loss:.3f} "
+      f"over {len(result.epoch_losses)} epochs")
+
+calc = MACECalculator(model)
+
+# -- 2. geometry optimization ---------------------------------------------------------
+cluster = generate_structure("Water clusters", np.random.default_rng(SEED + 1), 15)
+res = fire_relax(calc, cluster, fmax=0.08, max_steps=100)
+print(f"\nFIRE relaxation: {'converged' if res.converged else 'stopped'} after "
+      f"{res.n_steps} steps, E {res.energies[0]:+.3f} -> {res.final_energy:+.3f} eV, "
+      f"max|F| {res.max_force:.3f} eV/A")
+
+# -- 3. NVE dynamics -----------------------------------------------------------------
+build_neighbor_list(cluster)
+md = VelocityVerlet(calc, cluster, timestep_fs=0.5, rebuild_every=5, seed=SEED)
+md.initialize_velocities(150.0)
+traj = md.run(40, record_every=5)
+print("\nNVE dynamics (0.5 fs steps):")
+print("   t(fs)   E_pot(eV)   E_kin(eV)   E_tot(eV)    T(K)")
+for t, ep, ek, T in zip(traj.times_fs, traj.potential, traj.kinetic, traj.temperatures):
+    print(f"  {t:6.1f}  {ep:10.4f}  {ek:10.4f}  {ep + ek:10.4f}  {T:6.0f}")
+print(f"energy drift over the run: {traj.energy_drift():.5f} eV")
+
+# -- 4. NVT (Langevin) dynamics -------------------------------------------------------
+md_nvt = VelocityVerlet(
+    calc, cluster, timestep_fs=0.5, friction=0.1, target_temperature=300.0,
+    seed=SEED + 2,
+)
+traj_nvt = md_nvt.run(40, record_every=10)
+print(f"\nNVT at 300 K: temperature trace "
+      f"{[f'{T:.0f}' for T in traj_nvt.temperatures]} K")

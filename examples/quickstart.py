@@ -1,0 +1,55 @@
+"""Quickstart: build molecular graphs, run MACE, compute energies and forces.
+
+Walks through the library's core objects in five minutes:
+
+1. generate a synthetic water cluster (one of the paper's eight systems);
+2. build its neighbor list at the paper's 4.5 A cutoff;
+3. run the MACE potential (optimized kernels) for energies and forces;
+4. verify the physics for free: rotating the molecule leaves the energy
+   unchanged, and the optimized and baseline kernels agree exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MACE, MACEConfig, build_neighbor_list, collate
+from repro.data import generate_structure
+from repro.equivariant import random_rotation
+
+rng = np.random.default_rng(0)
+
+# 1. A 10-molecule water cluster (30 atoms).
+graph = generate_structure("Water clusters", rng, n_atoms=30)
+print(f"generated {graph.system}: {graph.n_atoms} atoms")
+
+# 2. Dynamic edges from the distance cutoff (Table 1's "edge definition").
+build_neighbor_list(graph, cutoff=4.5)
+print(f"neighbor list: {graph.n_edges} directed edges, "
+      f"sparsity {graph.sparsity():.2f}")
+
+# 3. The MACE potential. kernel_variant="optimized" uses the paper's fused,
+#    CG-sparse kernels; "baseline" the e3nn-style per-segment chains.
+config = MACEConfig(num_channels=8, lmax_sh=2, kernel_variant="optimized")
+model = MACE(config, seed=42)
+batch = collate([graph])
+
+energy = model.predict_energy(batch)[0]
+forces = model.forces(batch)
+print(f"\nenergy: {energy:+.4f} eV")
+print(f"forces: shape {forces.shape}, net force {np.abs(forces.sum(0)).max():.2e} "
+      "(Newton's third law)")
+
+# 4a. Rotational invariance — the point of the equivariant architecture.
+R = random_rotation(rng)
+rotated = graph.rotated(R)
+build_neighbor_list(rotated, cutoff=4.5)
+energy_rot = model.predict_energy(collate([rotated]))[0]
+print(f"\nenergy after random rotation: {energy_rot:+.4f} eV "
+      f"(difference {abs(energy - energy_rot):.2e})")
+
+# 4b. Kernel-variant parity — the optimizations change speed, not numbers.
+baseline = MACE(config.with_variant("baseline"), seed=42)
+energy_base = baseline.predict_energy(batch)[0]
+print(f"baseline-kernel energy:       {energy_base:+.4f} eV "
+      f"(difference {abs(energy - energy_base):.2e})")

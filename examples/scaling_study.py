@@ -1,0 +1,83 @@
+"""Scaling study: reproduce the paper's headline result on your laptop.
+
+Plans a full epoch of the 2.65 M-sample composite dataset with both
+batching strategies, simulates synchronous DDP training on 16-740 A100
+GPUs for all four configurations, and prints the strong-scaling table
+(Figures 7-8) including the 12 -> 2 minutes-per-epoch headline at 740 GPUs
+and the computation/communication profile (Figure 13).
+
+Run:  python examples/scaling_study.py            (~2 minutes)
+      python examples/scaling_study.py --fast     (~20 seconds, 1% dataset)
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.cluster import profile_epoch
+from repro.data import build_spec
+from repro.experiments.common import (
+    balanced_workloads,
+    fixed_count_workloads,
+    format_table,
+    simulate,
+)
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--fast", action="store_true", help="use 1%% of the dataset")
+parser.add_argument(
+    "--gpus", type=int, nargs="+", default=[16, 64, 256, 740], help="GPU counts"
+)
+args = parser.parse_args()
+
+scale = 0.01 if args.fast else "large"
+print(f"building composite dataset spec (scale={scale}) ...")
+t0 = time.time()
+spec = build_spec(scale, seed=0)
+print(f"  {spec.n_samples:,} samples, {spec.total_tokens:,} tokens "
+      f"({time.time() - t0:.1f} s)")
+
+fixed = fixed_count_workloads(spec)
+rows = []
+for gpus in args.gpus:
+    t0 = time.time()
+    balanced = balanced_workloads(spec, gpus)
+    results = {
+        "MACE": simulate(fixed, gpus, "baseline"),
+        "+LB": simulate(balanced, gpus, "baseline"),
+        "+kernel": simulate(fixed, gpus, "optimized"),
+        "+both": simulate(balanced, gpus, "optimized"),
+    }
+    base = results["MACE"].epoch_time
+    rows.append(
+        (
+            gpus,
+            *(f"{r.epoch_time / 60:.1f}" for r in results.values()),
+            f"{base / results['+both'].epoch_time:.2f}x",
+            f"({time.time() - t0:.1f}s)",
+        )
+    )
+
+print("\nper-epoch minutes (simulated A100 cluster):")
+print(
+    format_table(
+        ["GPUs", "MACE", "+load balancer", "+kernel opt", "+both", "speedup", "plan+sim"],
+        rows,
+    )
+)
+if not args.fast and 740 in args.gpus:
+    print("\npaper reference at 740 GPUs: baseline ~12 min, optimized ~2 min (~6x)")
+
+# Workload characterization on 8 GPUs (Figure 13).
+print("\ncomputation/communication profile on 8 GPUs:")
+small_spec = build_spec(0.005, seed=0)
+for label, work, variant in (
+    ("baseline MACE + fixed-count batching", fixed_count_workloads(small_spec), "baseline"),
+    ("optimized MACE + load balancer", balanced_workloads(small_spec, 8), "optimized"),
+):
+    report = simulate(work, 8, variant)
+    profiles = profile_epoch(report)
+    comp = np.mean([p.computation_pct for p in profiles])
+    comm = np.mean([p.communication_pct for p in profiles])
+    print(f"  {label}: {comp:.0f}% computation, {comm:.0f}% communication/wait")

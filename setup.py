@@ -1,0 +1,6 @@
+"""Setuptools shim (offline environments lack the wheel package, so the
+legacy editable-install path is kept available)."""
+
+from setuptools import setup
+
+setup()

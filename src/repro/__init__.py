@@ -1,0 +1,60 @@
+"""repro — reproduction of "Optimizing Data Distribution and Kernel
+Performance for Efficient Training of Chemistry Foundation Models: A Case
+Study with MACE" (Firoz et al., HPDC 2025).
+
+Public API overview
+-------------------
+
+* :mod:`repro.distribution` — the multi-objective bin-packing load balancer
+  (Algorithm 1) and baseline batching strategies;
+* :mod:`repro.kernels` — baseline and optimized (fused + CG-sparse)
+  implementations of the channelwise tensor product (Algorithm 2) and the
+  symmetric tensor contraction (Algorithm 3);
+* :mod:`repro.mace` — the MACE equivariant GNN built on those kernels;
+* :mod:`repro.equivariant` — spherical harmonics, Wigner-D matrices and
+  Clebsch-Gordan algebra;
+* :mod:`repro.graphs` — molecular graphs, periodic neighbor lists, batching;
+* :mod:`repro.autograd` / :mod:`repro.nn` — the NumPy training substrate;
+* :mod:`repro.data` — the eight synthetic chemical systems and the 2.65 M
+  composite dataset spec (Table 3);
+* :mod:`repro.cluster` — the analytical multi-GPU (DDP) epoch simulator;
+* :mod:`repro.training` — the §5.2 training recipe;
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from .mace import MACE, MACEConfig
+from .graphs import MolecularGraph, GraphBatch, build_neighbor_list, collate
+from .distribution import (
+    BalancedDistributedSampler,
+    FixedCountDistributedSampler,
+    create_balanced_batches,
+    evaluate_bins,
+)
+from .data import build_spec, build_training_set, attach_labels
+from .cluster import simulate_epoch, profile_epoch
+from .training import Trainer
+from .serialization import load_model, save_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MACE",
+    "MACEConfig",
+    "MolecularGraph",
+    "GraphBatch",
+    "build_neighbor_list",
+    "collate",
+    "create_balanced_batches",
+    "evaluate_bins",
+    "BalancedDistributedSampler",
+    "FixedCountDistributedSampler",
+    "build_spec",
+    "build_training_set",
+    "attach_labels",
+    "simulate_epoch",
+    "profile_epoch",
+    "Trainer",
+    "save_model",
+    "load_model",
+    "__version__",
+]

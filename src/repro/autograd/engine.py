@@ -1,0 +1,496 @@
+"""A reverse-mode automatic differentiation engine over NumPy arrays.
+
+This is the repository's substitute for PyTorch's autograd: a minimal but
+complete tape-based engine.  Every differentiable operation is a
+:class:`Function` with an explicit backward rule; :class:`Tensor` wraps a
+NumPy array plus its position in the tape.  The MACE model, its optimized
+kernels (which register *custom* backward passes, exactly as the paper's
+CUDA kernels must) and the training loop are all built on it.
+
+Design notes
+------------
+* Broadcasting follows NumPy; backward un-broadcasts by summing over the
+  broadcast axes.
+* The tape is built eagerly; ``backward()`` runs a topological sort and
+  accumulates ``grad`` on leaves (and interior nodes that request it).
+* ``no_grad()`` suspends taping for label generation / evaluation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape construction."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record to the tape."""
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """Base class of differentiable operations.
+
+    Subclasses implement :meth:`forward` (returning a raw ndarray) and
+    :meth:`backward` (returning one gradient per input, or ``None`` for
+    non-differentiable inputs).  ``self.saved`` may hold anything forward
+    wants to reuse.
+    """
+
+    def __init__(self) -> None:
+        self.inputs: Tuple["Tensor", ...] = ()
+        self.saved: tuple = ()
+
+    def forward(self, *args, **kwargs) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        raise NotImplementedError  # pragma: no cover
+
+    @classmethod
+    def apply(cls, *args, **kwargs) -> "Tensor":
+        """Run forward, wiring the result into the tape when enabled."""
+        fn = cls()
+        tensors = tuple(a for a in args if isinstance(a, Tensor))
+        fn.inputs = tensors
+        raw = tuple(a.data if isinstance(a, Tensor) else a for a in args)
+        out_data = fn.forward(*raw, **kwargs)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires)
+        if requires:
+            out._ctx = fn
+        return out
+
+
+TensorLike = Union["Tensor", np.ndarray, float, int]
+
+
+class Tensor:
+    """A NumPy array with gradient bookkeeping.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar) payload; copied only if conversion requires it.
+    requires_grad:
+        Whether gradients should accumulate in ``.grad`` on backward.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64 if np.asarray(data).dtype.kind == "f" else None)
+        if self.data.dtype.kind not in "fiu":
+            raise TypeError(f"unsupported dtype {self.data.dtype}")
+        if self.data.dtype.kind in "iu" and requires_grad:
+            raise TypeError("integer tensors cannot require grad")
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._ctx: Optional[Function] = None
+
+    # -- basic introspection ----------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A view sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad})"
+
+    # -- backward ----------------------------------------------------------------
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Reverse-mode sweep accumulating ``.grad`` on requiring tensors."""
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without gradient needs a scalar output")
+            grad = np.ones_like(self.data, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.shape:
+            raise ValueError(f"gradient shape {grad.shape} != output shape {self.shape}")
+
+        # Iterative post-order DFS: deep op chains (thousands of nodes)
+        # must not hit Python's recursion limit.
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node._ctx is None:
+                continue
+            if expanded:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._ctx.inputs:
+                stack.append((parent, False))
+
+        grads: dict = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            ctx = node._ctx
+            in_grads = ctx.backward(g)
+            for parent, ig in zip(ctx.inputs, in_grads):
+                if ig is None or not (parent.requires_grad or parent._ctx is not None):
+                    continue
+                ig = np.asarray(ig, dtype=np.float64)
+                if parent.requires_grad:
+                    if parent.grad is None:
+                        parent.grad = np.zeros(parent.shape, dtype=np.float64)
+                    parent.grad += ig
+                if parent._ctx is not None:
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + ig
+                    else:
+                        grads[key] = ig
+        if self.requires_grad and self._ctx is None:
+            if self.grad is None:
+                self.grad = np.zeros(self.shape, dtype=np.float64)
+            self.grad += grad
+
+    # -- operators ---------------------------------------------------------------
+
+    def __add__(self, other: TensorLike) -> "Tensor":
+        return Add.apply(self, as_tensor(other))
+
+    def __radd__(self, other: TensorLike) -> "Tensor":
+        return Add.apply(as_tensor(other), self)
+
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        return Sub.apply(self, as_tensor(other))
+
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        return Sub.apply(as_tensor(other), self)
+
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        return Mul.apply(self, as_tensor(other))
+
+    def __rmul__(self, other: TensorLike) -> "Tensor":
+        return Mul.apply(as_tensor(other), self)
+
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        return Div.apply(self, as_tensor(other))
+
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        return Div.apply(as_tensor(other), self)
+
+    def __neg__(self) -> "Tensor":
+        return Neg.apply(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return Pow.apply(self, exponent=float(exponent))
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return MatMul.apply(self, as_tensor(other))
+
+    def __getitem__(self, key) -> "Tensor":
+        return GetItem.apply(self, key=key)
+
+    # -- shaping -----------------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Reshape.apply(self, shape=shape)
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        return Transpose.apply(self, axes=axes)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    # -- reductions ---------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    # -- elementwise --------------------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        return Exp.apply(self)
+
+    def log(self) -> "Tensor":
+        return Log.apply(self)
+
+    def sqrt(self) -> "Tensor":
+        return Sqrt.apply(self)
+
+    def tanh(self) -> "Tensor":
+        return Tanh.apply(self)
+
+
+def as_tensor(x: TensorLike) -> Tensor:
+    """Coerce scalars/arrays to (non-grad) tensors; pass tensors through."""
+    if isinstance(x, Tensor):
+        return x
+    return Tensor(np.asarray(x, dtype=np.float64))
+
+
+# -- primitive Functions -----------------------------------------------------------
+
+
+class Add(Function):
+    def forward(self, a, b):
+        self.saved = (a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad):
+        sa, sb = self.saved
+        return _unbroadcast(grad, sa), _unbroadcast(grad, sb)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.saved = (a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad):
+        sa, sb = self.saved
+        return _unbroadcast(grad, sa), _unbroadcast(-grad, sb)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.saved = (a, b)
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return _unbroadcast(grad * b, a.shape), _unbroadcast(grad * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.saved = (a, b)
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.saved
+        ga = _unbroadcast(grad / b, a.shape)
+        gb = _unbroadcast(-grad * a / (b * b), b.shape)
+        return ga, gb
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (-grad,)
+
+
+class Pow(Function):
+    def forward(self, a, exponent: float):
+        self.saved = (a, exponent)
+        return a ** exponent
+
+    def backward(self, grad):
+        a, p = self.saved
+        return (grad * p * a ** (p - 1.0),)
+
+
+class MatMul(Function):
+    def forward(self, a, b):
+        self.saved = (a, b)
+        return a @ b
+
+    def backward(self, grad):
+        a, b = self.saved
+        if a.ndim == 1 and b.ndim == 1:  # inner product
+            return grad * b, grad * a
+        if b.ndim == 1:  # (..., n, k) @ (k,) -> (..., n)
+            ga = grad[..., None] * b
+            gb = np.einsum("...n,...nk->k", grad, a)
+            return _unbroadcast(ga, a.shape), gb
+        if a.ndim == 1:  # (k,) @ (k, m) -> (m,)
+            ga = b @ grad
+            gb = np.outer(a, grad)
+            return ga, _unbroadcast(gb, b.shape)
+        bt = np.swapaxes(b, -1, -2)
+        at = np.swapaxes(a, -1, -2)
+        ga = _unbroadcast(grad @ bt, a.shape)
+        gb = _unbroadcast(at @ grad, b.shape)
+        return ga, gb
+
+
+class GetItem(Function):
+    def forward(self, a, key):
+        self.saved = (a.shape, key)
+        return a[key]
+
+    def backward(self, grad):
+        shape, key = self.saved
+        out = np.zeros(shape, dtype=np.float64)
+        np.add.at(out, key, grad)
+        return (out,)
+
+
+class Reshape(Function):
+    def forward(self, a, shape):
+        self.saved = (a.shape,)
+        return a.reshape(shape)
+
+    def backward(self, grad):
+        (shape,) = self.saved
+        return (grad.reshape(shape),)
+
+
+class Transpose(Function):
+    def forward(self, a, axes):
+        self.saved = (axes,)
+        return np.transpose(a, axes)
+
+    def backward(self, grad):
+        (axes,) = self.saved
+        if axes is None:
+            return (np.transpose(grad),)
+        inv = np.argsort(axes)
+        return (np.transpose(grad, inv),)
+
+
+class Sum(Function):
+    def forward(self, a, axis, keepdims):
+        self.saved = (a.shape, axis, keepdims)
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        if axis is None:
+            return (np.broadcast_to(grad, shape).astype(np.float64),)
+        if not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(a % len(shape) for a in axes)
+            for a in sorted(axes):
+                grad = np.expand_dims(grad, a)
+        return (np.broadcast_to(grad, shape).astype(np.float64),)
+
+
+class Mean(Function):
+    def forward(self, a, axis, keepdims):
+        self.saved = (a.shape, axis, keepdims)
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        if axis is None:
+            count = int(np.prod(shape))
+            return (np.broadcast_to(grad / count, shape).astype(np.float64),)
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(a % len(shape) for a in axes)
+        count = int(np.prod([shape[a] for a in axes]))
+        if not keepdims:
+            for a in sorted(axes):
+                grad = np.expand_dims(grad, a)
+        return (np.broadcast_to(grad / count, shape).astype(np.float64),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.saved = (out,)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.saved = (a,)
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / a,)
+
+
+class Sqrt(Function):
+    def forward(self, a):
+        out = np.sqrt(a)
+        self.saved = (out,)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad / (2.0 * out),)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.saved = (out,)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * (1.0 - out * out),)

@@ -1,0 +1,98 @@
+"""Differentiable activation and loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import Function, Tensor, as_tensor
+
+__all__ = ["silu", "relu", "softplus", "sigmoid", "mse", "weighted_mse", "l2_norm"]
+
+
+class SiLU(Function):
+    """``x * sigmoid(x)`` — MACE's nonlinearity for radial MLPs/readouts."""
+
+    def forward(self, a):
+        sig = 1.0 / (1.0 + np.exp(-a))
+        self.saved = (a, sig)
+        return a * sig
+
+    def backward(self, grad):
+        a, sig = self.saved
+        return (grad * (sig * (1.0 + a * (1.0 - sig))),)
+
+
+def silu(x: Tensor) -> Tensor:
+    """Sigmoid-weighted linear unit."""
+    return SiLU.apply(x)
+
+
+class ReLU(Function):
+    def forward(self, a):
+        self.saved = (a > 0.0,)
+        return np.maximum(a, 0.0)
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return ReLU.apply(x)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.saved = (out,)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out * (1.0 - out),)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return Sigmoid.apply(x)
+
+
+class Softplus(Function):
+    def forward(self, a):
+        self.saved = (a,)
+        return np.logaddexp(0.0, a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / (1.0 + np.exp(-a)),)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Smooth ReLU, ``log(1 + exp(x))`` (numerically stable)."""
+    return Softplus.apply(x)
+
+
+def mse(pred: Tensor, target) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = pred - as_tensor(target).detach()
+    return (diff * diff).mean()
+
+
+def weighted_mse(pred: Tensor, target, weights) -> Tensor:
+    """Per-sample weighted MSE — the paper trains with a weighted loss (§5.2).
+
+    ``weights`` are treated as constants and normalized to sum to 1.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    w = w / total
+    diff = pred - as_tensor(target).detach()
+    return (as_tensor(w) * diff * diff).sum()
+
+
+def l2_norm(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """``sqrt(sum(x^2) + eps)`` — safe at the origin."""
+    return ((x * x).sum() + eps).sqrt()

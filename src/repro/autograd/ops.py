@@ -1,0 +1,168 @@
+"""Structural and graph-specific autograd operations.
+
+MACE's message passing needs a handful of ops beyond elementwise algebra:
+gathering per-atom features onto edges, scatter-summing edge messages back
+onto atoms, pooling per-atom energies per graph, and concatenation.  These
+are the NumPy analogues of ``torch.index_select`` / ``scatter_add`` /
+``segment_sum``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .engine import Function, Tensor, as_tensor
+
+__all__ = [
+    "gather_rows",
+    "segment_sum",
+    "concatenate",
+    "stack",
+    "where",
+    "clip",
+    "einsum_tp",
+]
+
+
+class GatherRows(Function):
+    """``out[e] = x[index[e]]`` along axis 0 (edge gather)."""
+
+    def forward(self, x, index):
+        self.saved = (x.shape, index)
+        return x[index]
+
+    def backward(self, grad):
+        shape, index = self.saved
+        out = np.zeros(shape, dtype=np.float64)
+        np.add.at(out, index, grad)
+        return (out, None)
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Differentiable row gather: ``out[i] = x[index[i]]``."""
+    return GatherRows.apply(x, np.asarray(index, dtype=np.int64))
+
+
+class SegmentSum(Function):
+    """``out[s] = sum_{i : seg[i] == s} x[i]`` (message aggregation)."""
+
+    def forward(self, x, segment_ids, num_segments):
+        self.saved = (segment_ids,)
+        out = np.zeros((num_segments,) + x.shape[1:], dtype=np.float64)
+        np.add.at(out, segment_ids, x)
+        return out
+
+    def backward(self, grad):
+        (segment_ids,) = self.saved
+        return (grad[segment_ids], None, None)
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Differentiable scatter-add along axis 0.
+
+    The aggregation operation of equation (1): pooling messages from all
+    neighbors ``j`` onto the receiving atom ``i`` (and, reused, pooling
+    per-atom energies per graph).
+    """
+    return SegmentSum.apply(
+        x, np.asarray(segment_ids, dtype=np.int64), int(num_segments)
+    )
+
+
+class Concatenate(Function):
+    def forward(self, *arrays, axis=0):
+        self.saved = (axis, [a.shape[axis] for a in arrays])
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad):
+        axis, sizes = self.saved
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=axis))
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation."""
+    return Concatenate.apply(*[as_tensor(t) for t in tensors], axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new axis."""
+    expanded = []
+    for t in tensors:
+        t = as_tensor(t)
+        shape = list(t.shape)
+        shape.insert(axis if axis >= 0 else len(shape) + axis + 1, 1)
+        expanded.append(t.reshape(tuple(shape)))
+    return concatenate(expanded, axis=axis)
+
+
+class Where(Function):
+    def forward(self, a, b, cond):
+        self.saved = (cond,)
+        return np.where(cond, a, b)
+
+    def backward(self, grad):
+        (cond,) = self.saved
+        return (np.where(cond, grad, 0.0), np.where(cond, 0.0, grad))
+
+
+def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable selection (gradient flows to the selected branch)."""
+    return Where.apply(as_tensor(a), as_tensor(b), cond=np.asarray(cond, dtype=bool))
+
+
+class Clip(Function):
+    def forward(self, a, lo, hi):
+        self.saved = (a, lo, hi)
+        return np.clip(a, lo, hi)
+
+    def backward(self, grad):
+        a, lo, hi = self.saved
+        mask = np.ones_like(a)
+        if lo is not None:
+            mask = mask * (a >= lo)
+        if hi is not None:
+            mask = mask * (a <= hi)
+        return (grad * mask, None, None)
+
+
+def clip(x: Tensor, lo: Optional[float], hi: Optional[float]) -> Tensor:
+    """Differentiable clamp (zero gradient outside the active range)."""
+    return Clip.apply(x, lo, hi)
+
+
+class EinsumTP(Function):
+    """Generic two-operand einsum with a constant third factor.
+
+    Used by the *baseline* kernels to emulate e3nn's per-segment dense
+    contractions: ``out = einsum(spec, const, a, b)`` where ``const`` is a
+    CG block.  Backward einsums are derived by index bookkeeping.
+    """
+
+    def forward(self, a, b, const, spec_fwd, spec_da, spec_db):
+        self.saved = (a, b, const, spec_da, spec_db)
+        return np.einsum(spec_fwd, const, a, b, optimize=True)
+
+    def backward(self, grad):
+        a, b, const, spec_da, spec_db = self.saved
+        ga = np.einsum(spec_da, const, grad, b, optimize=True)
+        gb = np.einsum(spec_db, const, grad, a, optimize=True)
+        return (ga, gb, None)
+
+
+def einsum_tp(
+    a: Tensor,
+    b: Tensor,
+    const: np.ndarray,
+    spec_fwd: str,
+    spec_da: str,
+    spec_db: str,
+) -> Tensor:
+    """Differentiable ``einsum(spec_fwd, const, a, b)`` with constant ``const``.
+
+    ``spec_da``/``spec_db`` must compute the gradients wrt ``a`` and ``b``
+    given operands ``(const, grad, other)``.
+    """
+    return EinsumTP.apply(a, b, const, spec_fwd=spec_fwd, spec_da=spec_da, spec_db=spec_db)

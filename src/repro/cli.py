@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments``
+    Regenerate paper tables/figures (all, or a named subset).
+``pack``
+    Run the load balancer on a synthetic dataset slice and print the
+    packing quality metrics.
+``simulate``
+    Strong-scaling simulation at chosen GPU counts.
+``train``
+    Train a small MACE on synthetic data and report the loss trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+_EXPERIMENTS = [
+    "table3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+]
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    names = args.names or _EXPERIMENTS
+    for name in names:
+        if name not in _EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from {_EXPERIMENTS}")
+            return 2
+        mod = getattr(experiments, name)
+        t0 = time.time()
+        print("=" * 72)
+        print(f"{name}  ({mod.__doc__.strip().splitlines()[0]})")
+        print("=" * 72)
+        print(mod.report(mod.run()))
+        print(f"[{time.time() - t0:.1f} s]\n")
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from .data import build_spec
+    from .distribution import create_balanced_batches, evaluate_bins
+
+    spec = build_spec(args.scale, seed=args.seed)
+    t0 = time.time()
+    bins = create_balanced_batches(spec.n_atoms, args.capacity, args.gpus)
+    dt = time.time() - t0
+    m = evaluate_bins(bins, spec.n_atoms)
+    print(
+        f"packed {spec.n_samples:,} graphs ({spec.total_tokens:,} tokens) "
+        f"into {m.num_bins:,} bins in {dt:.2f} s"
+    )
+    print(
+        f"  padding {m.padding_fraction:.2%}, load CV {m.load_cv:.4f}, "
+        f"straggler ratio {m.straggler_ratio:.4f}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .data import build_spec
+    from .experiments.common import (
+        balanced_workloads,
+        fixed_count_workloads,
+        format_table,
+        simulate,
+    )
+
+    spec = build_spec(args.scale, seed=args.seed)
+    fixed = fixed_count_workloads(spec)
+    rows = []
+    for gpus in args.gpus:
+        balanced = balanced_workloads(spec, gpus)
+        base = simulate(fixed, gpus, "baseline").epoch_time
+        both = simulate(balanced, gpus, "optimized").epoch_time
+        rows.append(
+            (gpus, f"{base / 60:.1f}", f"{both / 60:.1f}", f"{base / both:.2f}x")
+        )
+    print(format_table(["GPUs", "baseline (min)", "optimized (min)", "speedup"], rows))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .data import attach_labels, build_training_set
+    from .distribution import BalancedDistributedSampler
+    from .mace import MACE, MACEConfig
+    from .training import Trainer
+
+    graphs = attach_labels(
+        build_training_set(
+            args.samples, systems=["Water clusters"], seed=args.seed, max_atoms=40
+        )
+    )
+    sampler = BalancedDistributedSampler(
+        [g.n_atoms for g in graphs], args.capacity, num_replicas=1, seed=args.seed
+    )
+    cfg = MACEConfig(
+        num_channels=args.channels, lmax_sh=2, l_atomic_basis=2, correlation=2
+    )
+    model = MACE(cfg, seed=args.seed)
+    trainer = Trainer(model, graphs)
+    result = trainer.fit(sampler, args.epochs, verbose=True)
+    print(f"final loss: {result.final_loss:.6f}")
+    if args.output:
+        from .serialization import save_model
+
+        path = save_model(model, args.output)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the HPDC 2025 MACE training-optimization paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("names", nargs="*", help=f"subset of {_EXPERIMENTS}")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_pack = sub.add_parser("pack", help="run the load balancer")
+    p_pack.add_argument("--scale", type=float, default=0.01)
+    p_pack.add_argument("--capacity", type=int, default=3072)
+    p_pack.add_argument("--gpus", type=int, default=64)
+    p_pack.add_argument("--seed", type=int, default=0)
+    p_pack.set_defaults(fn=_cmd_pack)
+
+    p_sim = sub.add_parser("simulate", help="strong-scaling simulation")
+    p_sim.add_argument("--scale", type=float, default=0.01)
+    p_sim.add_argument("--gpus", type=int, nargs="+", default=[16, 64, 256, 740])
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_train = sub.add_parser("train", help="train a small MACE")
+    p_train.add_argument("--samples", type=int, default=16)
+    p_train.add_argument("--epochs", type=int, default=8)
+    p_train.add_argument("--channels", type=int, default=8)
+    p_train.add_argument("--capacity", type=int, default=128)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--output", type=str, default=None)
+    p_train.set_defaults(fn=_cmd_train)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

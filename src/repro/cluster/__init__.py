@@ -1,0 +1,22 @@
+"""Distributed-cluster performance simulator (the paper's 740-GPU machine)."""
+
+from .gpu import A100, GPUSpec, KernelWorkload
+from .interconnect import DRAGONFLY, InterconnectSpec
+from .workload import MACEWorkloadModel, PAPER_MODEL
+from .ddp import EpochReport, simulate_epoch, simulate_epoch_from_bins
+from .profiler import GPUProfile, profile_epoch
+
+__all__ = [
+    "GPUSpec",
+    "A100",
+    "KernelWorkload",
+    "InterconnectSpec",
+    "DRAGONFLY",
+    "MACEWorkloadModel",
+    "PAPER_MODEL",
+    "EpochReport",
+    "simulate_epoch",
+    "simulate_epoch_from_bins",
+    "GPUProfile",
+    "profile_epoch",
+]

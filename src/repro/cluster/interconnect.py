@@ -1,0 +1,57 @@
+"""Interconnect model: gradient allreduce on a dragonfly network.
+
+The paper's machine has 4 A100s per node and a 3-hop dragonfly system
+interconnect (§5.1.3).  DDP training synchronizes gradients every step
+with an allreduce; we model it as NCCL-style ring bandwidth plus a
+logarithmic latency term:
+
+    T(P, B) = 2 (P-1)/P * B / bus_bandwidth + latency * ceil(log2 P)
+
+with the effective bus bandwidth degrading once the ring leaves a node
+(NVLink within the node, network across nodes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["InterconnectSpec", "DRAGONFLY"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Collective-communication rate constants.
+
+    Attributes
+    ----------
+    gpus_per_node:
+        GPUs sharing NVLink (paper: 4).
+    intra_node_bandwidth:
+        Per-GPU NVLink bus bandwidth (bytes/s).
+    inter_node_bandwidth:
+        Per-GPU network injection bandwidth (bytes/s).
+    hop_latency:
+        Per-stage latency (seconds) of the collective.
+    """
+
+    gpus_per_node: int = 4
+    intra_node_bandwidth: float = 2.0e11
+    inter_node_bandwidth: float = 2.2e10
+    hop_latency: float = 2.0e-5
+
+    def allreduce_time(self, world_size: int, nbytes: float) -> float:
+        """Seconds to allreduce ``nbytes`` across ``world_size`` ranks."""
+        if world_size <= 1:
+            return 0.0
+        bw = (
+            self.intra_node_bandwidth
+            if world_size <= self.gpus_per_node
+            else self.inter_node_bandwidth
+        )
+        ring = 2.0 * (world_size - 1) / world_size * nbytes / bw
+        latency = self.hop_latency * math.ceil(math.log2(world_size))
+        return ring + latency
+
+
+DRAGONFLY = InterconnectSpec()

@@ -1,0 +1,46 @@
+"""Workload characterization: Figure 13's computation/communication profile.
+
+Aggregates an :class:`EpochReport` into the per-GPU percentage bars the
+paper plots — computation, overlapping (comm hidden behind compute) and
+exposed communication (including straggler wait inside the blocking
+allreduce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .ddp import EpochReport
+
+__all__ = ["GPUProfile", "profile_epoch"]
+
+
+@dataclass(frozen=True)
+class GPUProfile:
+    """Percentage breakdown for one GPU (one bar of Figure 13)."""
+
+    gpu_index: int
+    computation_pct: float
+    overlap_pct: float
+    communication_pct: float
+
+    def __str__(self) -> str:
+        return (
+            f"GPU {self.gpu_index}: {self.computation_pct:.1f}% compute, "
+            f"{self.overlap_pct:.1f}% overlap, "
+            f"{self.communication_pct:.1f}% communication"
+        )
+
+
+def profile_epoch(report: EpochReport) -> List[GPUProfile]:
+    """Per-GPU profiles from a simulated epoch."""
+    comp = report.computation_fraction * 100.0
+    over = report.overlap_fraction * 100.0
+    comm = report.communication_fraction * 100.0
+    return [
+        GPUProfile(i, float(comp[i]), float(over[i]), float(comm[i]))
+        for i in range(report.world_size)
+    ]

@@ -1,0 +1,167 @@
+"""The composite 2.65 M-sample dataset specification and its splits.
+
+The load-balancing experiments only need the *size distribution* of the
+dataset — vertex counts, edge counts and system labels — not coordinates.
+:class:`DatasetSpec` samples exactly the composition of Table 3 into flat
+NumPy arrays in a fraction of a second, which is what lets the strong- and
+weak-scaling simulations cover all 2.65 M samples.
+
+For runnable training data (coordinates + labels) see
+:func:`build_training_set`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.molecular_graph import MolecularGraph
+from ..graphs.neighborlist import DEFAULT_CUTOFF, build_neighbor_list
+from .systems import SYSTEM_NAMES, SYSTEMS, generate_structure
+
+__all__ = ["DatasetSpec", "build_spec", "build_training_set", "SPLIT_SIZES"]
+
+# Paper §5.1.1: strong scaling uses the full ~2.65 M dataset; weak scaling
+# splits it into small (~0.6 M) and medium (~1.2 M) subsets.
+SPLIT_SIZES: Dict[str, float] = {"small": 0.6e6, "medium": 1.2e6, "large": 2.65e6}
+
+
+@dataclass
+class DatasetSpec:
+    """Size-level description of a molecular-graph dataset.
+
+    Attributes
+    ----------
+    n_atoms:
+        ``(n_samples,)`` vertex counts.
+    n_edges:
+        ``(n_samples,)`` estimated directed edge counts.
+    system_id:
+        ``(n_samples,)`` index into :attr:`system_names`.
+    system_names:
+        System label per id.
+    """
+
+    n_atoms: np.ndarray
+    n_edges: np.ndarray
+    system_id: np.ndarray
+    system_names: List[str] = field(default_factory=lambda: list(SYSTEM_NAMES))
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.n_atoms.size)
+
+    @property
+    def total_tokens(self) -> int:
+        """Total atom (token) count over the dataset."""
+        return int(self.n_atoms.sum())
+
+    def subset(self, indices: np.ndarray) -> "DatasetSpec":
+        """A new spec restricted to the given sample indices."""
+        return DatasetSpec(
+            self.n_atoms[indices],
+            self.n_edges[indices],
+            self.system_id[indices],
+            list(self.system_names),
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "DatasetSpec":
+        """A randomly permuted copy (epoch shuffling)."""
+        perm = rng.permutation(self.n_samples)
+        return self.subset(perm)
+
+    def system_counts(self) -> Dict[str, int]:
+        """Sample count per system (Table 3's "Num. Graphs" column)."""
+        counts = np.bincount(self.system_id, minlength=len(self.system_names))
+        return {name: int(c) for name, c in zip(self.system_names, counts)}
+
+
+def build_spec(
+    scale: float | str = "large",
+    seed: int = 0,
+) -> DatasetSpec:
+    """Sample a dataset spec with Table 3's composition.
+
+    Parameters
+    ----------
+    scale:
+        ``"small"`` (~0.6 M), ``"medium"`` (~1.2 M), ``"large"`` (~2.65 M)
+        or a float fraction of the full dataset.
+    seed:
+        RNG seed; the spec is deterministic per (scale, seed).
+
+    Returns
+    -------
+    A shuffled :class:`DatasetSpec` whose per-system counts scale Table 3
+    proportionally.
+    """
+    if isinstance(scale, str):
+        total_target = SPLIT_SIZES[scale]
+        frac = total_target / SPLIT_SIZES["large"]
+    else:
+        frac = float(scale)
+        if not 0.0 < frac <= 1.0:
+            raise ValueError("scale fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    atoms_parts, edges_parts, sys_parts = [], [], []
+    for sys_idx, name in enumerate(SYSTEM_NAMES):
+        spec = SYSTEMS[name]
+        count = max(int(round(spec.num_graphs * frac)), 1)
+        sizes = spec.size_sampler(rng, count)
+        # Edge estimate: per-sample mean degree with log-normal spread,
+        # shrunk for small graphs where the cutoff sphere is not filled.
+        degree = spec.mean_degree * rng.lognormal(0.0, spec.degree_spread, count)
+        fill = np.minimum(1.0, (sizes / 30.0) ** (1.0 / 3.0))
+        edges = np.maximum(np.round(sizes * degree * fill), 0).astype(np.int64)
+        edges = np.minimum(edges, sizes * (sizes - 1))
+        atoms_parts.append(sizes)
+        edges_parts.append(edges)
+        sys_parts.append(np.full(count, sys_idx, dtype=np.int64))
+    ds = DatasetSpec(
+        np.concatenate(atoms_parts),
+        np.concatenate(edges_parts),
+        np.concatenate(sys_parts),
+    )
+    return ds.shuffled(rng)
+
+
+def build_training_set(
+    n_samples: int,
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    cutoff: float = DEFAULT_CUTOFF,
+    max_atoms: int = 100,
+) -> List[MolecularGraph]:
+    """Materialize a small coordinate-level dataset with neighbor lists.
+
+    Used by the loss-parity experiment (Figure 9) and the examples, where
+    actual training happens.  Samples are drawn round-robin from the
+    requested systems; sizes are truncated at ``max_atoms`` to keep pure
+    NumPy training tractable.
+
+    Labels are attached separately via
+    :func:`repro.data.labels.attach_labels`.
+    """
+    if systems is None:
+        systems = ["Water clusters", "MPtrj", "TMD", "HEA"]
+    rng = np.random.default_rng(seed)
+    graphs: List[MolecularGraph] = []
+    for i in range(n_samples):
+        name = systems[i % len(systems)]
+        spec = SYSTEMS[name]
+        lo, hi = spec.vertex_range
+        hi = min(hi, max_atoms)
+        if hi < lo:
+            raise ValueError(f"{name} cannot fit under max_atoms={max_atoms}")
+        for _ in range(50):
+            n = int(spec.size_sampler(rng, 1)[0])
+            if n <= hi:
+                break
+        else:
+            n = hi
+        g = generate_structure(name, rng, max(n, lo))
+        build_neighbor_list(g, cutoff=cutoff)
+        graphs.append(g)
+    return graphs

@@ -1,0 +1,136 @@
+"""Baseline batching strategies the paper compares against (or improves on).
+
+* :func:`fixed_count_batches` — PyTorch-Geometric-style mini-batching with a
+  fixed number of graphs per batch, regardless of their sizes (the paper's
+  "MACE" baseline configuration, batch size 6-8 in §5.2);
+* :func:`first_fit_decreasing` / :func:`best_fit_decreasing` — the classical
+  bin-packing heuristics §3.2 contrasts Algorithm 1 with: they optimize
+  per-bin waste only, not cross-bin balance;
+* :func:`lpt_schedule` — longest-processing-time-first multiprocessor
+  scheduling (the fixed-bin-count framing mentioned in §3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .binpack import Bin
+
+__all__ = [
+    "fixed_count_batches",
+    "first_fit_decreasing",
+    "best_fit_decreasing",
+    "lpt_schedule",
+]
+
+
+def fixed_count_batches(
+    sizes: Sequence[int],
+    graphs_per_batch: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Bin]:
+    """Fixed-graph-count batching (the PyG default the paper starts from).
+
+    Graphs are optionally shuffled and grouped ``graphs_per_batch`` at a
+    time; batch token counts therefore vary wildly with graph sizes
+    (Observation 1).  Each bin's ``capacity`` is set to the maximum batch
+    fill so padding accounting reflects a common allocation size.
+    """
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    if graphs_per_batch <= 0:
+        raise ValueError("graphs_per_batch must be positive")
+    idx = np.arange(sizes_arr.size)
+    if rng is not None:
+        idx = rng.permutation(idx)
+    bins: List[Bin] = []
+    fills: List[int] = []
+    for start in range(0, sizes_arr.size, graphs_per_batch):
+        chunk = idx[start : start + graphs_per_batch]
+        fills.append(int(sizes_arr[chunk].sum()))
+        bins.append(Bin(capacity=0, items=[int(i) for i in chunk], used=fills[-1]))
+    cap = max(fills) if fills else 0
+    for b in bins:
+        b.capacity = cap
+    return bins
+
+
+def first_fit_decreasing(sizes: Sequence[int], capacity: int) -> List[Bin]:
+    """Classic FFD: place each item (largest first) in the first open bin
+    with room, opening a new bin when none fits."""
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    _validate(sizes_arr, capacity)
+    order = np.argsort(-sizes_arr, kind="stable")
+    bins: List[Bin] = []
+    for i in order:
+        size = int(sizes_arr[i])
+        for b in bins:
+            if b.remaining >= size:
+                b.add(int(i), size)
+                break
+        else:
+            b = Bin(capacity)
+            b.add(int(i), size)
+            bins.append(b)
+    return bins
+
+
+def best_fit_decreasing(sizes: Sequence[int], capacity: int) -> List[Bin]:
+    """Classic BFD: place each item (largest first) in the open bin whose
+    remaining capacity is tightest — minimizes *per-bin* waste, which is
+    exactly the single-objective view Algorithm 1 improves on."""
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    _validate(sizes_arr, capacity)
+    order = np.argsort(-sizes_arr, kind="stable")
+    bins: List[Bin] = []
+    for i in order:
+        size = int(sizes_arr[i])
+        best = None
+        best_rem = capacity + 1
+        for b in bins:
+            rem = b.remaining
+            if size <= rem < best_rem:
+                best, best_rem = b, rem
+        if best is None:
+            best = Bin(capacity)
+            bins.append(best)
+        best.add(int(i), size)
+    return bins
+
+
+def lpt_schedule(sizes: Sequence[int], num_bins: int) -> List[Bin]:
+    """Longest-processing-time-first onto a *fixed* number of bins.
+
+    The scheduling-problem framing (§3.1): bin count is fixed (e.g. the GPU
+    count), each item goes to the currently least-loaded bin.  There is no
+    capacity constraint; ``capacity`` is set to the final maximum fill.
+    """
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    order = np.argsort(-sizes_arr, kind="stable")
+    bins = [Bin(capacity=0) for _ in range(num_bins)]
+    import heapq
+
+    heap = [(0, j) for j in range(num_bins)]
+    heapq.heapify(heap)
+    for i in order:
+        used, j = heapq.heappop(heap)
+        bins[j].items.append(int(i))
+        bins[j].used += int(sizes_arr[i])
+        heapq.heappush(heap, (bins[j].used, j))
+    cap = max(b.used for b in bins)
+    for b in bins:
+        b.capacity = cap
+    return bins
+
+
+def _validate(sizes_arr: np.ndarray, capacity: int) -> None:
+    if sizes_arr.ndim != 1 or sizes_arr.size == 0:
+        raise ValueError("sizes must be a non-empty 1D sequence")
+    if np.any(sizes_arr <= 0):
+        raise ValueError("graph sizes must be positive")
+    if capacity < int(sizes_arr.max()):
+        raise ValueError("capacity below largest graph")

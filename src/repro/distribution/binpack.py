@@ -1,0 +1,167 @@
+"""Algorithm 1: Create-Balanced-Batches — the paper's load balancer.
+
+Mini-batch creation is formulated as a multi-objective bin packing problem
+(§3.1.1): given per-graph sizes (token counts), a bin capacity ``C`` and a
+GPU count ``G``, produce bins (mini-batches) that
+
+* minimize the number of bins (objective 3),
+* minimize zero-padding waste per bin (objective 4),
+* minimize the pairwise fill imbalance between bins (objective 5),
+
+subject to the capacity constraint, with the bin count a multiple of ``G``.
+
+The iterative algorithm sorts graphs by size (descending) and cyclically
+deals them across capacity-sorted bins, at most one graph per bin per
+round, with an adaptive re-activation of prematurely "full" bins
+(lines 20-22 of the paper's pseudocode).  Unassigned leftovers recurse into
+a fresh set of bins.
+
+Complexity is ``O(N log N + N log M)`` (§3.2.2); the 1 M-sample /
+~100 k-bin case packs in about a second (see ``benchmarks/bench_binpack``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Bin", "create_balanced_batches"]
+
+
+@dataclass
+class Bin:
+    """One mini-batch bin.
+
+    Attributes
+    ----------
+    capacity:
+        Token capacity ``C`` the bin was allocated with.
+    items:
+        Indices of the graphs packed into the bin (into the input size list).
+    used:
+        Sum of the packed graph sizes.
+    """
+
+    capacity: int
+    items: List[int] = field(default_factory=list)
+    used: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def padding(self) -> int:
+        """Zero-padded tokens if the bin is materialized at capacity."""
+        return self.remaining
+
+    def add(self, index: int, size: int) -> None:
+        if size > self.remaining:
+            raise ValueError("item exceeds remaining capacity")
+        self.items.append(index)
+        self.used += size
+
+
+def create_balanced_batches(
+    sizes: Sequence[int],
+    capacity: int,
+    num_gpus: int,
+) -> List[Bin]:
+    """Pack graphs into balanced bins (paper Algorithm 1).
+
+    Parameters
+    ----------
+    sizes:
+        Per-graph token counts (the paper uses vertex counts; §3.2.1 notes
+        edge counts or any function of both work equally — pass whatever
+        metric you want balanced).
+    capacity:
+        Maximum tokens per bin (``C``); must be at least ``max(sizes)``.
+    num_gpus:
+        ``G``; the number of bins is rounded up to a multiple of it.
+
+    Returns
+    -------
+    List of :class:`Bin` covering every graph exactly once.  Bin count is a
+    positive multiple of ``num_gpus``.
+    """
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    if sizes_arr.ndim != 1 or sizes_arr.size == 0:
+        raise ValueError("sizes must be a non-empty 1D sequence")
+    if np.any(sizes_arr <= 0):
+        raise ValueError("graph sizes must be positive")
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    if capacity < int(sizes_arr.max()):
+        raise ValueError(
+            f"capacity {capacity} is below the largest graph "
+            f"({int(sizes_arr.max())} tokens); no feasible packing"
+        )
+
+    # Line 1: stable sort, descending, remembering original indices.
+    order = np.argsort(-sizes_arr, kind="stable")
+    sorted_sizes = sizes_arr[order]
+    return _pack_sorted(sorted_sizes, order, capacity, num_gpus)
+
+
+def _pack_sorted(
+    sorted_sizes: np.ndarray,
+    original_idx: np.ndarray,
+    capacity: int,
+    num_gpus: int,
+) -> List[Bin]:
+    n = sorted_sizes.size
+    # Lines 2-4: number of bins = ceil(total / C) rounded up to a multiple of G.
+    total = int(sorted_sizes.sum())
+    m = max(math.ceil(total / capacity), 1)
+    m = math.ceil(m / num_gpus) * num_gpus
+
+    active: List[Bin] = [Bin(capacity) for _ in range(m)]
+    full: List[Bin] = []
+    p = 0  # pointer into the sorted item list
+
+    # Lines 7-22: deal items across bins, one per bin per round.
+    while p < n and active:
+        # Line 8: stable sort by remaining capacity, descending (fullest
+        # *capacity* first — prioritizes bins with the most room so large
+        # remaining items land where they fit).
+        active.sort(key=lambda b: -b.remaining)
+        newly_full: List[Bin] = []
+        still_active: List[Bin] = []
+        for b in active:
+            if p >= n:
+                still_active.append(b)
+                continue
+            if b.remaining >= sorted_sizes[p]:
+                b.add(int(original_idx[p]), int(sorted_sizes[p]))
+                p += 1
+                still_active.append(b)
+            else:
+                # Line 17: cannot take the current (largest remaining) item.
+                newly_full.append(b)
+        full.extend(newly_full)
+        active = still_active
+        # Lines 20-22: adaptive re-activation — if some active bin now has
+        # *less* remaining room than a "full" bin, the full marks were
+        # premature (smaller items may still fit); return them to the pool.
+        if active and full:
+            min_active_rem = min(b.remaining for b in active)
+            max_full_rem = max(b.remaining for b in full)
+            if min_active_rem < max_full_rem:
+                active.extend(full)
+                full.clear()
+
+    bins = active + full
+    # Lines 23-25: recurse on the leftovers (already sorted).
+    if p < n:
+        bins.extend(
+            _pack_sorted(sorted_sizes[p:], original_idx[p:], capacity, num_gpus)
+        )
+    # Drop empty bins but keep the bin count a multiple of num_gpus.
+    nonempty = [b for b in bins if b.items]
+    deficit = (-len(nonempty)) % num_gpus
+    empties = [b for b in bins if not b.items][:deficit]
+    return nonempty + empties

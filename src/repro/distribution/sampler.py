@@ -1,0 +1,134 @@
+"""Distributed batch samplers.
+
+The paper implements Algorithm 1 by modifying PyTorch's
+``DistributedSampler`` into a *batch* sampler that re-plans the epoch's
+bins up front (§3.2.1).  This module reproduces that integration point:
+
+* :class:`BalancedDistributedSampler` — Algorithm 1 per epoch; every rank
+  derives the same deterministic plan and takes bins ``rank, rank + G,
+  rank + 2G, ...`` (cyclic), so no communication is needed;
+* :class:`FixedCountDistributedSampler` — the baseline: shuffle, chunk a
+  fixed number of graphs per batch, deal round-robin.
+
+Both yield, per rank, a list of batches (lists of dataset indices).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .binpack import Bin, create_balanced_batches
+from .baselines import fixed_count_batches
+
+__all__ = ["BalancedDistributedSampler", "FixedCountDistributedSampler"]
+
+
+class BalancedDistributedSampler:
+    """Epoch-wise balanced batch sampler (the paper's modified sampler).
+
+    Parameters
+    ----------
+    sizes:
+        Per-sample token counts; §3.2.1 notes the size metric is pluggable
+        (vertex count, edge count, or a function of both) — pass the metric
+        you want balanced via ``size_metric`` applied to ``sizes``.
+    capacity:
+        Bin capacity ``C`` in tokens (the paper operates at 3072, §5.2).
+    num_replicas:
+        World size ``G``.
+    shuffle:
+        Re-shuffle sample order each epoch before packing.  Packing is
+        deterministic given the epoch seed, so all ranks agree.  (The
+        sorted packing sacrifices sample-order randomness — the limitation
+        §7 acknowledges; shuffling only perturbs tie-breaking.)
+    seed:
+        Base seed combined with the epoch number.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        capacity: int,
+        num_replicas: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        size_metric: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        if size_metric is not None:
+            self.metric = np.asarray(size_metric(self.sizes), dtype=np.int64)
+        else:
+            self.metric = self.sizes
+        self.capacity = int(capacity)
+        self.num_replicas = int(num_replicas)
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def plan_epoch(self, epoch: int) -> List[Bin]:
+        """Pack the whole epoch into bins (identical on every rank)."""
+        order = np.arange(self.sizes.size)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + epoch)
+            order = rng.permutation(order)
+        bins = create_balanced_batches(
+            self.metric[order], self.capacity, self.num_replicas
+        )
+        # Map positions back to dataset indices.
+        for b in bins:
+            b.items = [int(order[i]) for i in b.items]
+        return bins
+
+    def rank_batches(self, epoch: int, rank: int) -> List[List[int]]:
+        """The batches (index lists) rank ``rank`` processes this epoch."""
+        if not 0 <= rank < self.num_replicas:
+            raise ValueError(f"rank {rank} out of range")
+        bins = self.plan_epoch(epoch)
+        return [b.items for i, b in enumerate(bins) if i % self.num_replicas == rank]
+
+    def all_rank_batches(self, epoch: int) -> List[List[List[int]]]:
+        """Per-rank batch lists (single planning pass, used by simulators)."""
+        bins = self.plan_epoch(epoch)
+        out: List[List[List[int]]] = [[] for _ in range(self.num_replicas)]
+        for i, b in enumerate(bins):
+            out[i % self.num_replicas].append(b.items)
+        return out
+
+
+class FixedCountDistributedSampler:
+    """The PyG-default baseline: fixed graphs-per-batch, shuffled each epoch."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        graphs_per_batch: int,
+        num_replicas: int,
+        shuffle: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        self.graphs_per_batch = int(graphs_per_batch)
+        self.num_replicas = int(num_replicas)
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def plan_epoch(self, epoch: int) -> List[Bin]:
+        """Chunk the (shuffled) dataset into fixed-count batches."""
+        rng = np.random.default_rng(self.seed + epoch) if self.shuffle else None
+        return fixed_count_batches(self.sizes, self.graphs_per_batch, rng=rng)
+
+    def rank_batches(self, epoch: int, rank: int) -> List[List[int]]:
+        """The batches rank ``rank`` processes this epoch."""
+        if not 0 <= rank < self.num_replicas:
+            raise ValueError(f"rank {rank} out of range")
+        bins = self.plan_epoch(epoch)
+        return [b.items for i, b in enumerate(bins) if i % self.num_replicas == rank]
+
+    def all_rank_batches(self, epoch: int) -> List[List[List[int]]]:
+        """Per-rank batch lists (single planning pass)."""
+        bins = self.plan_epoch(epoch)
+        out: List[List[List[int]]] = [[] for _ in range(self.num_replicas)]
+        for i, b in enumerate(bins):
+            out[i % self.num_replicas].append(b.items)
+        return out

@@ -1,0 +1,69 @@
+"""Equivariant tensor algebra: the mathematical substrate of MACE.
+
+Re-exports the pieces the rest of the library builds on:
+
+* :class:`Irrep` / :class:`Irreps` — O(3) representation bookkeeping;
+* :func:`spherical_harmonics` — real spherical harmonics of edge vectors;
+* :func:`wigner_D` — real Wigner-D matrices (the equivariance ground truth);
+* :func:`clebsch_gordan` / :func:`cg_sparse` — real CG blocks, dense and
+  sparse lookup-table form;
+* :func:`coupling_table` — generalized CG coupling patterns for the
+  symmetric contraction (Algorithm 3).
+"""
+
+from .irreps import Irrep, Irreps, MulIrrep, tensor_product_irreps
+from .spherical_harmonics import (
+    legendre_p,
+    sh_block_slice,
+    sh_dim,
+    spherical_harmonics,
+)
+from .wigner import (
+    euler_angles,
+    random_rotation,
+    rotation_matrix,
+    wigner_D,
+    wigner_D_from_angles,
+)
+from .clebsch_gordan import (
+    SparseCG,
+    cg_selection_ok,
+    cg_sparse,
+    cg_sparsity,
+    clebsch_gordan,
+    clebsch_gordan_complex,
+)
+from .coupling import (
+    CouplingPath,
+    CouplingTable,
+    coupling_paths,
+    coupling_table,
+    num_coupling_patterns,
+)
+
+__all__ = [
+    "Irrep",
+    "Irreps",
+    "MulIrrep",
+    "tensor_product_irreps",
+    "spherical_harmonics",
+    "sh_dim",
+    "sh_block_slice",
+    "legendre_p",
+    "rotation_matrix",
+    "random_rotation",
+    "euler_angles",
+    "wigner_D",
+    "wigner_D_from_angles",
+    "clebsch_gordan",
+    "clebsch_gordan_complex",
+    "cg_sparse",
+    "cg_sparsity",
+    "cg_selection_ok",
+    "SparseCG",
+    "CouplingPath",
+    "CouplingTable",
+    "coupling_paths",
+    "coupling_table",
+    "num_coupling_patterns",
+]

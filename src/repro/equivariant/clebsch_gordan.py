@@ -1,0 +1,256 @@
+"""Clebsch-Gordan (CG) coefficients in the real spherical-harmonic basis.
+
+The CG tensor ``C^{l3 m3}_{l1 m1, l2 m2}`` is the heart of both hot kernels
+the paper optimizes (Algorithms 2 and 3): it couples two equivariant
+features of degrees ``l1`` and ``l2`` into one of degree ``l3`` while
+preserving equivariance.
+
+Two properties drive the paper's kernel optimization (§4.2.2):
+
+* **selection rules** — only ``|l1 - l2| <= l3 <= l1 + l2`` (triangle rule)
+  and, in the complex basis, ``m1 + m2 = m3`` give non-zero entries;
+* **sparsity** — fewer than ~20 % of the entries of each dense
+  ``(2l1+1, 2l2+1, 2l3+1)`` block are non-zero, deterministically and known
+  "at compile time".
+
+This module computes the complex-basis coefficients exactly (Racah formula
+over Python integers / fractions) and conjugates them into the real basis
+used everywhere else in this repository.  :func:`cg_sparse` exposes the
+precomputed non-zero lookup tables that the optimized kernels consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from .wigner import real_to_complex_transform
+
+__all__ = [
+    "clebsch_gordan_complex",
+    "clebsch_gordan",
+    "cg_sparse",
+    "SparseCG",
+    "cg_selection_ok",
+    "cg_sparsity",
+    "wigner_3j",
+]
+
+
+def cg_selection_ok(l1: int, l2: int, l3: int) -> bool:
+    """Triangle rule: True iff ``(l1, l2, l3)`` can couple."""
+    return abs(l1 - l2) <= l3 <= l1 + l2
+
+
+def _f(n: int) -> int:
+    if n < 0:
+        raise ValueError("negative factorial")
+    return math.factorial(n)
+
+
+def _cg_coefficient(j1: int, m1: int, j2: int, m2: int, j3: int, m3: int) -> float:
+    """One complex-basis CG coefficient ``<j1 m1 j2 m2 | j3 m3>`` (Racah).
+
+    Exact rational arithmetic is used under the square root and in the
+    alternating sum, so the only rounding is the final ``sqrt``/product.
+    """
+    if m1 + m2 != m3 or not cg_selection_ok(j1, j2, j3):
+        return 0.0
+    if abs(m1) > j1 or abs(m2) > j2 or abs(m3) > j3:
+        return 0.0
+    # Radicand (exact rational).
+    norm = Fraction(
+        (2 * j3 + 1)
+        * _f(j1 + j2 - j3)
+        * _f(j1 - j2 + j3)
+        * _f(-j1 + j2 + j3),
+        _f(j1 + j2 + j3 + 1),
+    ) * Fraction(
+        _f(j1 + m1) * _f(j1 - m1) * _f(j2 + m2) * _f(j2 - m2) * _f(j3 + m3) * _f(j3 - m3),
+        1,
+    )
+    # Alternating sum (exact rational).
+    s = Fraction(0)
+    k_min = max(0, j2 - j3 - m1, j1 - j3 + m2)
+    k_max = min(j1 + j2 - j3, j1 - m1, j2 + m2)
+    for k in range(k_min, k_max + 1):
+        denom = (
+            _f(k)
+            * _f(j1 + j2 - j3 - k)
+            * _f(j1 - m1 - k)
+            * _f(j2 + m2 - k)
+            * _f(j3 - j2 + m1 + k)
+            * _f(j3 - j1 - m2 + k)
+        )
+        s += Fraction((-1) ** k, denom)
+    return float(s) * math.sqrt(float(norm))
+
+
+@lru_cache(maxsize=None)
+def clebsch_gordan_complex(l1: int, l2: int, l3: int) -> np.ndarray:
+    """Dense complex-basis CG block of shape ``(2l1+1, 2l2+1, 2l3+1)``.
+
+    Indexing is ``[m1 + l1, m2 + l2, m3 + l3]``; coefficients are real in
+    this basis.  Blocks violating the triangle rule are all-zero.
+    """
+    out = np.zeros((2 * l1 + 1, 2 * l2 + 1, 2 * l3 + 1), dtype=np.float64)
+    if not cg_selection_ok(l1, l2, l3):
+        return out
+    for m1 in range(-l1, l1 + 1):
+        for m2 in range(-l2, l2 + 1):
+            m3 = m1 + m2
+            if -l3 <= m3 <= l3:
+                out[m1 + l1, m2 + l2, m3 + l3] = _cg_coefficient(l1, m1, l2, m2, l3, m3)
+    return out
+
+
+@lru_cache(maxsize=None)
+def clebsch_gordan(l1: int, l2: int, l3: int) -> np.ndarray:
+    """Dense **real-basis** CG block, shape ``(2l1+1, 2l2+1, 2l3+1)``.
+
+    Intertwines the real Wigner-D representations:
+
+    ``einsum('abc,ai,bj->ijc', C, D1, D2) == einsum('abk,kc->abc', C, D3)``
+
+    The raw change of basis yields a purely real tensor when ``l1+l2+l3`` is
+    even and a purely imaginary one otherwise; the imaginary case is rotated
+    onto the reals (a global phase does not affect the intertwiner property).
+    """
+    if not cg_selection_ok(l1, l2, l3):
+        return np.zeros((2 * l1 + 1, 2 * l2 + 1, 2 * l3 + 1), dtype=np.float64)
+    Cc = clebsch_gordan_complex(l1, l2, l3).astype(np.complex128)
+    T1 = real_to_complex_transform(l1)
+    T2 = real_to_complex_transform(l2)
+    T3 = real_to_complex_transform(l3)
+    # C_real[m1, m2, m3] = sum T1^-1[mu1, m1] T2^-1[mu2, m2] T3[m3, mu3] C[mu1, mu2, mu3]
+    # with T^-1 = T^dagger, i.e. (T^-1)[mu, m] = conj(T[m, mu]).
+    Cr = np.einsum("abc,ma,nb,pc->mnp", Cc, T1.conj(), T2.conj(), T3, optimize=True)
+    re = float(np.abs(Cr.real).max())
+    im = float(np.abs(Cr.imag).max())
+    if re >= im:
+        if im > 1e-10 * max(re, 1.0):
+            raise AssertionError(f"real CG has mixed phase: re={re:.3e} im={im:.3e}")
+        out = Cr.real
+    else:
+        if re > 1e-10 * max(im, 1.0):
+            raise AssertionError(f"real CG has mixed phase: re={re:.3e} im={im:.3e}")
+        out = Cr.imag
+    out = np.ascontiguousarray(out)
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class SparseCG:
+    """Non-zero entries of one real CG block, the "compile-time lookup table".
+
+    Attributes
+    ----------
+    l1, l2, l3:
+        Degrees of the block.
+    m1, m2, m3:
+        Index arrays (0-based within each degree block) of non-zeros.
+    values:
+        The non-zero coefficients, ``values[i] = C[m1[i], m2[i], m3[i]]``.
+    """
+
+    l1: int
+    l2: int
+    l3: int
+    m1: np.ndarray
+    m2: np.ndarray
+    m3: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero coefficients."""
+        return int(self.values.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero entries in the dense block."""
+        total = (2 * self.l1 + 1) * (2 * self.l2 + 1) * (2 * self.l3 + 1)
+        return self.nnz / total
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense block (for testing)."""
+        out = np.zeros((2 * self.l1 + 1, 2 * self.l2 + 1, 2 * self.l3 + 1))
+        out[self.m1, self.m2, self.m3] = self.values
+        return out
+
+
+@lru_cache(maxsize=None)
+def cg_sparse(l1: int, l2: int, l3: int, tol: float = 1e-12) -> SparseCG:
+    """Sparse (COO) representation of the real CG block.
+
+    This is the precomputed table the optimized kernels iterate over —
+    the software analogue of §4.2.2's "store only non-zero coefficients and
+    create lookup tables for fast access".
+    """
+    C = clebsch_gordan(l1, l2, l3)
+    m1, m2, m3 = np.nonzero(np.abs(C) > tol)
+    vals = C[m1, m2, m3]
+    return SparseCG(
+        l1,
+        l2,
+        l3,
+        m1.astype(np.int64),
+        m2.astype(np.int64),
+        m3.astype(np.int64),
+        np.ascontiguousarray(vals),
+    )
+
+
+def cg_sparsity(lmax: int) -> float:
+    """Aggregate non-zero fraction over all valid ``(l1, l2, l3)`` blocks
+    with every degree ``<= lmax``.
+
+    The paper (§4.1.1) observes this is typically below 20 %.
+    """
+    nnz = 0
+    total = 0
+    for l1 in range(lmax + 1):
+        for l2 in range(lmax + 1):
+            for l3 in range(lmax + 1):
+                if not cg_selection_ok(l1, l2, l3):
+                    total += (2 * l1 + 1) * (2 * l2 + 1) * (2 * l3 + 1)
+                    continue
+                sp = cg_sparse(l1, l2, l3)
+                nnz += sp.nnz
+                total += (2 * l1 + 1) * (2 * l2 + 1) * (2 * l3 + 1)
+    return nnz / total
+
+
+@lru_cache(maxsize=None)
+def wigner_3j(j1: int, j2: int, j3: int) -> np.ndarray:
+    """Complex-basis Wigner 3j symbols, shape ``(2j1+1, 2j2+1, 2j3+1)``.
+
+    Related to the CG coefficients by
+
+        (j1 j2 j3; m1 m2 m3) = (-1)^(j1-j2-m3) / sqrt(2 j3 + 1)
+                               <j1 m1 j2 m2 | j3 -m3>
+
+    and satisfying the full permutation symmetries of the 3j symbol
+    (cyclic invariance; transposition picks up ``(-1)^(j1+j2+j3)``).
+    """
+    out = np.zeros((2 * j1 + 1, 2 * j2 + 1, 2 * j3 + 1), dtype=np.float64)
+    if not cg_selection_ok(j1, j2, j3):
+        return out
+    C = clebsch_gordan_complex(j1, j2, j3)
+    for m1 in range(-j1, j1 + 1):
+        for m2 in range(-j2, j2 + 1):
+            m3 = -(m1 + m2)
+            if -j3 <= m3 <= j3:
+                out[m1 + j1, m2 + j2, m3 + j3] = (
+                    (-1.0) ** (j1 - j2 - m3)
+                    / math.sqrt(2 * j3 + 1)
+                    * C[m1 + j1, m2 + j2, -m3 + j3]
+                )
+    out.setflags(write=False)
+    return out

@@ -1,0 +1,260 @@
+"""Generalized Clebsch-Gordan coupling trees for symmetric contraction.
+
+Algorithm 3 of the paper contracts ``nu`` copies of the atomic-basis
+features ``A_{i,klm}`` into higher body-order features ``B`` using
+*generalized* CG coefficients ``C^{LM}_{lm}``: products of ordinary CG
+coefficients along a binary coupling tree
+
+    ((l1 l2) L2, l3) L3, ... -> L.
+
+Each distinct sequence ``(l1..l_nu ; L2..L_{nu-1})`` is one *coupling
+pattern* — the ``eta`` index the paper's fused kernel parallelizes over.
+This module enumerates the patterns, materializes their (sparse) coefficient
+tensors once, and packs them into flat lookup tables consumed by both the
+baseline and the optimized kernels in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .clebsch_gordan import clebsch_gordan, cg_selection_ok
+from .spherical_harmonics import sh_dim
+
+__all__ = [
+    "CouplingPath",
+    "CouplingTable",
+    "coupling_paths",
+    "coupling_table",
+    "num_coupling_patterns",
+]
+
+
+@dataclass(frozen=True)
+class CouplingPath:
+    """One coupling pattern ``eta``: input degrees, intermediates and output.
+
+    Attributes
+    ----------
+    ls:
+        Input degrees ``(l1, .., l_nu)`` of the factors.
+    intermediates:
+        Intermediate degrees ``(L2, .., L_{nu-1})`` of the left-to-right
+        coupling tree (empty for ``nu <= 2``... one entry per internal node
+        beyond the first pair for ``nu >= 3``).
+    L:
+        Output degree.
+    indices:
+        Integer array of shape ``(nnz, nu + 1)``; the first ``nu`` columns
+        are flattened spherical-harmonic indices (``l^2 + l + m``) of each
+        factor and the last column is ``M + L`` of the output component.
+    values:
+        Non-zero generalized CG coefficients, aligned with ``indices``.
+    """
+
+    ls: Tuple[int, ...]
+    intermediates: Tuple[int, ...]
+    L: int
+    indices: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nu(self) -> int:
+        """Correlation order (number of coupled factors)."""
+        return len(self.ls)
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero generalized coefficients."""
+        return int(self.values.size)
+
+
+def _flat_sh_index(l: int, m_index: int) -> int:
+    """Flattened index of component ``m_index`` (0-based) of degree ``l``."""
+    return l * l + m_index
+
+
+def _couple_dense(left: np.ndarray, L_left: int, l_new: int, L_out: int) -> np.ndarray:
+    """Couple a dense tree tensor of output degree ``L_left`` with a new
+    degree-``l_new`` factor into degree ``L_out``.
+
+    ``left`` has shape ``(d1, .., dk, 2*L_left + 1)``; the result has shape
+    ``(d1, .., dk, 2*l_new + 1, 2*L_out + 1)``.
+    """
+    C = clebsch_gordan(L_left, l_new, L_out)  # (2L_left+1, 2l_new+1, 2L_out+1)
+    return np.tensordot(left, C, axes=([-1], [0]))
+
+
+def coupling_paths(
+    lmax: int,
+    nu: int,
+    L: int,
+    interm_lmax: int | None = None,
+    parity: bool = True,
+    tol: float = 1e-12,
+) -> List[CouplingPath]:
+    """Enumerate all coupling patterns of ``nu`` factors into degree ``L``.
+
+    Parameters
+    ----------
+    lmax:
+        Maximum degree of each input factor.
+    nu:
+        Correlation order (``nu >= 1``).
+    L:
+        Output degree.
+    interm_lmax:
+        Cap on intermediate degrees of the coupling tree.  Defaults to
+        ``lmax`` (MACE truncates internal representations the same way).
+    parity:
+        If True, keep only patterns whose total spherical-harmonic parity
+        ``(-1)^(l1 + .. + l_nu)`` matches the output parity ``(-1)^L`` —
+        the physically admissible combinations for MACE's product block.
+    tol:
+        Entries with absolute value below this are dropped from the table.
+
+    Returns
+    -------
+    The list of :class:`CouplingPath`, deterministic in ordering.
+    """
+    if nu < 1:
+        raise ValueError("correlation order nu must be >= 1")
+    if interm_lmax is None:
+        interm_lmax = lmax
+
+    paths: List[CouplingPath] = []
+
+    def emit(ls: Tuple[int, ...], inters: Tuple[int, ...], tensor: np.ndarray) -> None:
+        if parity and (-1) ** sum(ls) != (-1) ** L:
+            return
+        nz = np.nonzero(np.abs(tensor) > tol)
+        if nz[0].size == 0:
+            return
+        vals = tensor[nz]
+        # Convert per-factor m indices to flattened SH indices.
+        cols = [
+            (np.asarray(nz[i]) + ls[i] * ls[i]).astype(np.int64) for i in range(len(ls))
+        ]
+        cols.append(np.asarray(nz[-1]).astype(np.int64))  # M index, 0-based
+        idx = np.stack(cols, axis=1)
+        paths.append(CouplingPath(ls, inters, L, idx, np.ascontiguousarray(vals)))
+
+    if nu == 1:
+        # Identity coupling: only l = L contributes.
+        if L <= lmax:
+            eye = np.eye(2 * L + 1)
+            emit((L,), (), eye)
+        return paths
+
+    def recurse(
+        ls: Tuple[int, ...],
+        inters: Tuple[int, ...],
+        tensor: np.ndarray,
+        L_curr: int,
+        remaining: int,
+    ) -> None:
+        if remaining == 0:
+            if L_curr == L:
+                emit(ls, inters[:-1] if inters and inters[-1] == L else inters, tensor)
+            return
+        for l_new in range(lmax + 1):
+            cap = L if remaining == 1 else interm_lmax
+            for L_next in range(abs(L_curr - l_new), L_curr + l_new + 1):
+                if L_next > cap:
+                    continue
+                if remaining == 1 and L_next != L:
+                    continue
+                if not cg_selection_ok(L_curr, l_new, L_next):
+                    continue
+                recurse(
+                    ls + (l_new,),
+                    inters + (L_next,),
+                    _couple_dense(tensor, L_curr, l_new, L_next),
+                    L_next,
+                    remaining - 1,
+                )
+
+    for l1 in range(lmax + 1):
+        eye = np.eye(2 * l1 + 1)
+        recurse((l1,), (), eye, l1, nu - 1)
+    return paths
+
+
+@dataclass
+class CouplingTable:
+    """Flattened lookup tables for every ``(nu, L)`` of a MACE product block.
+
+    ``entries[(nu, L)]`` packs all paths of that pair into flat arrays so
+    the optimized kernel can process them in a single vectorized pass:
+
+    * ``factor_idx`` — ``(nnz_total, nu)`` flattened SH indices per factor,
+    * ``M_idx`` — ``(nnz_total,)`` output component (0-based),
+    * ``values`` — the coefficients,
+    * ``path_idx`` — ``(nnz_total,)`` the pattern ``eta`` each entry
+      belongs to (selects the learnable weight).
+    """
+
+    lmax: int
+    nu_max: int
+    L_max: int
+    parity: bool = True
+    paths: Dict[Tuple[int, int], List[CouplingPath]] = field(default_factory=dict)
+    entries: Dict[Tuple[int, int], Dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for nu in range(1, self.nu_max + 1):
+            for L in range(self.L_max + 1):
+                plist = coupling_paths(self.lmax, nu, L, parity=self.parity)
+                self.paths[(nu, L)] = plist
+                if not plist:
+                    self.entries[(nu, L)] = {
+                        "factor_idx": np.zeros((0, nu), dtype=np.int64),
+                        "M_idx": np.zeros((0,), dtype=np.int64),
+                        "values": np.zeros((0,), dtype=np.float64),
+                        "path_idx": np.zeros((0,), dtype=np.int64),
+                    }
+                    continue
+                fi = np.concatenate([p.indices[:, :nu] for p in plist], axis=0)
+                mi = np.concatenate([p.indices[:, nu] for p in plist], axis=0)
+                vals = np.concatenate([p.values for p in plist], axis=0)
+                pid = np.concatenate(
+                    [np.full(p.nnz, i, dtype=np.int64) for i, p in enumerate(plist)]
+                )
+                self.entries[(nu, L)] = {
+                    "factor_idx": np.ascontiguousarray(fi),
+                    "M_idx": np.ascontiguousarray(mi),
+                    "values": np.ascontiguousarray(vals),
+                    "path_idx": pid,
+                }
+
+    @property
+    def feature_dim(self) -> int:
+        """Flattened per-channel feature dimension, ``(lmax + 1)^2``."""
+        return sh_dim(self.lmax)
+
+    def num_paths(self, nu: int, L: int) -> int:
+        """Number of coupling patterns ``eta`` for a given ``(nu, L)``."""
+        return len(self.paths[(nu, L)])
+
+    def num_weights(self) -> int:
+        """Total number of path weights across all ``(nu, L)`` pairs."""
+        return sum(len(v) for v in self.paths.values())
+
+    def nnz(self, nu: int, L: int) -> int:
+        """Total non-zeros across all patterns of ``(nu, L)``."""
+        return int(self.entries[(nu, L)]["values"].size)
+
+
+@lru_cache(maxsize=None)
+def coupling_table(lmax: int, nu_max: int, L_max: int, parity: bool = True) -> CouplingTable:
+    """Cached :class:`CouplingTable` (tables are deterministic per config)."""
+    return CouplingTable(lmax, nu_max, L_max, parity)
+
+
+def num_coupling_patterns(lmax: int, nu: int, L: int, parity: bool = True) -> int:
+    """Convenience: number of coupling patterns (paper's ``eta`` count)."""
+    return len(coupling_paths(lmax, nu, L, parity=parity))

@@ -1,0 +1,253 @@
+"""Irreducible representations of O(3) and direct sums thereof.
+
+This module provides a small, self-contained replacement for the part of
+``e3nn.o3`` that MACE relies on: the :class:`Irrep` (a single irreducible
+representation ``l`` with parity ``p``) and :class:`Irreps` (an ordered
+direct sum with multiplicities, written in e3nn notation such as
+``"128x0e + 128x1o"``).
+
+The paper's hyperparameter section (§5.2) specifies the message irreps as
+``128x0e + 128x1o``; this module parses, slices and manipulates such
+specifications.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+__all__ = ["Irrep", "MulIrrep", "Irreps"]
+
+_IRREP_RE = re.compile(r"^\s*(\d+)\s*([eo])\s*$")
+_MUL_IRREP_RE = re.compile(r"^\s*(?:(\d+)\s*x\s*)?(\d+)\s*([eo])\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Irrep:
+    """A single irreducible representation of O(3).
+
+    Parameters
+    ----------
+    l:
+        Degree of the representation (0, 1, 2, ...).  The representation
+        space has dimension ``2 * l + 1``.
+    p:
+        Parity under inversion: ``+1`` (even, "e") or ``-1`` (odd, "o").
+    """
+
+    l: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.l < 0:
+            raise ValueError(f"irrep degree must be non-negative, got {self.l}")
+        if self.p not in (-1, 1):
+            raise ValueError(f"irrep parity must be +1 or -1, got {self.p}")
+
+    @classmethod
+    def parse(cls, spec: Union[str, "Irrep", Tuple[int, int]]) -> "Irrep":
+        """Parse ``"1o"``-style notation (or pass through an Irrep/tuple)."""
+        if isinstance(spec, Irrep):
+            return spec
+        if isinstance(spec, tuple):
+            return cls(*spec)
+        m = _IRREP_RE.match(spec)
+        if not m:
+            raise ValueError(f"cannot parse irrep {spec!r}")
+        return cls(int(m.group(1)), 1 if m.group(2) == "e" else -1)
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the representation space, ``2l + 1``."""
+        return 2 * self.l + 1
+
+    def __mul__(self, other: "Irrep") -> Iterator["Irrep"]:
+        """Selection rule of the tensor product: yields each output irrep.
+
+        ``l3`` ranges over ``|l1 - l2| .. l1 + l2`` (the triangle rule) and
+        the output parity is the product of the input parities.
+        """
+        other = Irrep.parse(other)
+        p = self.p * other.p
+        for l in range(abs(self.l - other.l), self.l + other.l + 1):
+            yield Irrep(l, p)
+
+    def is_scalar(self) -> bool:
+        """True for the invariant ``0e`` irrep."""
+        return self.l == 0 and self.p == 1
+
+    def __str__(self) -> str:
+        return f"{self.l}{'e' if self.p == 1 else 'o'}"
+
+    def __repr__(self) -> str:
+        return f"Irrep({self})"
+
+
+@dataclass(frozen=True)
+class MulIrrep:
+    """An irrep together with a channel multiplicity (e.g. ``128x1o``)."""
+
+    mul: int
+    ir: Irrep
+
+    def __post_init__(self) -> None:
+        if self.mul < 0:
+            raise ValueError(f"multiplicity must be non-negative, got {self.mul}")
+
+    @property
+    def dim(self) -> int:
+        """Total flattened dimension, ``mul * (2l + 1)``."""
+        return self.mul * self.ir.dim
+
+    def __str__(self) -> str:
+        return f"{self.mul}x{self.ir}"
+
+    def __repr__(self) -> str:
+        return f"MulIrrep({self})"
+
+    def __iter__(self):
+        yield self.mul
+        yield self.ir
+
+
+class Irreps(tuple):
+    """An ordered direct sum of irreps with multiplicities.
+
+    Supports the e3nn string notation::
+
+        >>> irreps = Irreps("128x0e + 128x1o")
+        >>> irreps.dim
+        512
+        >>> irreps.num_irreps
+        256
+
+    ``Irreps`` is immutable (a tuple subclass) so it can be used as a cache
+    key throughout the kernel modules.
+    """
+
+    def __new__(cls, spec: Union[str, "Irreps", Iterable]) -> "Irreps":
+        if isinstance(spec, Irreps):
+            return spec
+        entries: List[MulIrrep] = []
+        if isinstance(spec, str):
+            for chunk in spec.split("+"):
+                chunk = chunk.strip()
+                if not chunk:
+                    continue
+                m = _MUL_IRREP_RE.match(chunk)
+                if not m:
+                    raise ValueError(f"cannot parse irreps chunk {chunk!r}")
+                mul = int(m.group(1)) if m.group(1) is not None else 1
+                ir = Irrep(int(m.group(2)), 1 if m.group(3) == "e" else -1)
+                entries.append(MulIrrep(mul, ir))
+        else:
+            for item in spec:
+                if isinstance(item, MulIrrep):
+                    entries.append(item)
+                elif isinstance(item, Irrep):
+                    entries.append(MulIrrep(1, item))
+                else:
+                    mul, ir = item
+                    entries.append(MulIrrep(int(mul), Irrep.parse(ir)))
+        return super().__new__(cls, entries)
+
+    # -- structural properties -------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Total flattened feature dimension."""
+        return sum(mi.dim for mi in self)
+
+    @property
+    def num_irreps(self) -> int:
+        """Total number of irrep copies (sum of multiplicities)."""
+        return sum(mi.mul for mi in self)
+
+    @property
+    def lmax(self) -> int:
+        """Largest degree present."""
+        if not self:
+            raise ValueError("empty Irreps has no lmax")
+        return max(mi.ir.l for mi in self)
+
+    @property
+    def ls(self) -> List[int]:
+        """Degree of every irrep copy, with multiplicity."""
+        return [mi.ir.l for mi in self for _ in range(mi.mul)]
+
+    def slices(self) -> List[slice]:
+        """Flat-index slice of each ``MulIrrep`` block, in order."""
+        out: List[slice] = []
+        offset = 0
+        for mi in self:
+            out.append(slice(offset, offset + mi.dim))
+            offset += mi.dim
+        return out
+
+    def count(self, ir: Union[str, Irrep]) -> int:  # type: ignore[override]
+        """Total multiplicity of a given irrep."""
+        ir = Irrep.parse(ir)
+        return sum(mi.mul for mi in self if mi.ir == ir)
+
+    # -- algebra ----------------------------------------------------------------
+
+    def __add__(self, other: "Irreps") -> "Irreps":  # type: ignore[override]
+        return Irreps(tuple(self) + tuple(Irreps(other)))
+
+    def __mul__(self, factor: int) -> "Irreps":  # type: ignore[override]
+        if not isinstance(factor, int):
+            raise TypeError("Irreps can only be repeated by an int")
+        return Irreps(tuple(self) * factor)
+
+    def simplify(self) -> "Irreps":
+        """Merge adjacent entries with the same irrep, drop zero multiplicities."""
+        entries: List[MulIrrep] = []
+        for mi in self:
+            if mi.mul == 0:
+                continue
+            if entries and entries[-1].ir == mi.ir:
+                entries[-1] = MulIrrep(entries[-1].mul + mi.mul, mi.ir)
+            else:
+                entries.append(mi)
+        return Irreps(entries)
+
+    def sort(self) -> "Irreps":
+        """Entries sorted by (l, p), stable in multiplicity."""
+        return Irreps(sorted(self, key=lambda mi: (mi.ir.l, -mi.ir.p)))
+
+    def filter(self, lmax: int) -> "Irreps":
+        """Keep only entries with ``l <= lmax``."""
+        return Irreps([mi for mi in self if mi.ir.l <= lmax])
+
+    @staticmethod
+    def spherical_harmonics(lmax: int) -> "Irreps":
+        """The irreps of spherical harmonics up to degree ``lmax``.
+
+        Parity of degree ``l`` is ``(-1)^l``.
+        """
+        return Irreps([(1, Irrep(l, (-1) ** l)) for l in range(lmax + 1)])
+
+    def __repr__(self) -> str:
+        return "+".join(str(mi) for mi in self) if len(self) else "Irreps()"
+
+    def __str__(self) -> str:
+        return self.__repr__()
+
+
+def tensor_product_irreps(ir1: Sequence, ir2: Sequence, lmax: int | None = None) -> Irreps:
+    """All output irreps of ``Irreps x Irreps`` tensor product (simplified).
+
+    Multiplicities multiply along each path; an optional ``lmax`` truncates
+    the output (MACE truncates messages at ``l3 <= lmax``).
+    """
+    out: List[MulIrrep] = []
+    for mul1, irr1 in Irreps(ir1):
+        for mul2, irr2 in Irreps(ir2):
+            for ir_out in irr1 * irr2:
+                if lmax is None or ir_out.l <= lmax:
+                    out.append(MulIrrep(mul1 * mul2, ir_out))
+    return Irreps(out).sort().simplify()
+
+
+__all__.append("tensor_product_irreps")

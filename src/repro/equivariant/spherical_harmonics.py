@@ -1,0 +1,171 @@
+"""Real spherical harmonics on the unit sphere.
+
+MACE encodes every edge direction with real spherical harmonics
+``Y_l^m(r_hat)`` up to ``l = l_max`` (the paper uses ``l_max = 3``).  This
+module evaluates them for batches of direction vectors with a numerically
+stable associated-Legendre recursion — no dependence on e3nn.
+
+Conventions
+-----------
+* component ordering ``m = -l .. l`` within each degree block;
+* ``normalization="integral"`` gives the orthonormal harmonics
+  (``∫ Y_lm Y_l'm' dΩ = δ``); ``"component"`` rescales each degree so that
+  ``sum_m Y_lm^2 = 2l + 1`` on the sphere (the e3nn default used by MACE);
+* Condon-Shortley phase is **not** included (matching e3nn's real basis up
+  to a fixed orthogonal change of basis).
+
+The flattened layout of degrees ``0..lmax`` is size ``(lmax + 1)^2`` with
+block ``l`` occupying ``[l^2, (l+1)^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "spherical_harmonics",
+    "sh_block_slice",
+    "sh_dim",
+    "legendre_p",
+]
+
+
+def sh_dim(lmax: int) -> int:
+    """Flattened dimension of degrees ``0..lmax``: ``(lmax + 1)^2``."""
+    return (lmax + 1) ** 2
+
+
+def sh_block_slice(l: int) -> slice:
+    """Slice of degree ``l`` in the flattened spherical-harmonics layout."""
+    return slice(l * l, (l + 1) * (l + 1))
+
+
+def legendre_p(lmax: int, x: np.ndarray) -> np.ndarray:
+    """Associated Legendre functions ``P_l^m(x)`` for ``0 <= m <= l <= lmax``.
+
+    Uses the standard stable recursion *without* the Condon-Shortley phase:
+
+    * ``P_m^m = (2m - 1)!! (1 - x^2)^{m/2}``
+    * ``P_{m+1}^m = x (2m + 1) P_m^m``
+    * ``(l - m) P_l^m = x (2l - 1) P_{l-1}^m - (l + m - 1) P_{l-2}^m``
+
+    Parameters
+    ----------
+    lmax:
+        Maximum degree.
+    x:
+        ``cos(theta)`` values, any shape.
+
+    Returns
+    -------
+    Array of shape ``x.shape + (lmax + 1, lmax + 1)`` indexed ``[..., l, m]``
+    (entries with ``m > l`` are zero).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    s = np.sqrt(np.clip(1.0 - x * x, 0.0, None))
+    out = np.zeros(x.shape + (lmax + 1, lmax + 1), dtype=np.float64)
+    out[..., 0, 0] = 1.0
+    # Diagonal P_m^m and first off-diagonal P_{m+1}^m.
+    for m in range(1, lmax + 1):
+        out[..., m, m] = (2 * m - 1) * s * out[..., m - 1, m - 1]
+    for m in range(0, lmax):
+        out[..., m + 1, m] = x * (2 * m + 1) * out[..., m, m]
+    # Upward recursion in l.
+    for m in range(0, lmax + 1):
+        for l in range(m + 2, lmax + 1):
+            out[..., l, m] = (
+                x * (2 * l - 1) * out[..., l - 1, m]
+                - (l + m - 1) * out[..., l - 2, m]
+            ) / (l - m)
+    return out
+
+
+def _sh_norm(l: int, m: int) -> float:
+    """Normalization constant of the orthonormal real harmonic ``Y_l^m``."""
+    m = abs(m)
+    return math.sqrt(
+        (2 * l + 1)
+        / (4.0 * math.pi)
+        * math.factorial(l - m)
+        / math.factorial(l + m)
+    )
+
+
+def spherical_harmonics(
+    lmax: int,
+    vectors: np.ndarray,
+    normalization: str = "integral",
+    normalize: bool = True,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Evaluate real spherical harmonics of degrees ``0..lmax``.
+
+    Parameters
+    ----------
+    lmax:
+        Maximum degree.
+    vectors:
+        Array of shape ``(..., 3)`` of (not necessarily unit) vectors.
+    normalization:
+        ``"integral"`` (orthonormal on the sphere) or ``"component"``
+        (each degree block has squared norm ``2l + 1`` on the sphere —
+        e3nn's/MACE's convention).
+    normalize:
+        If True, direction vectors are normalized first.  Zero vectors map
+        to the north pole.
+    out:
+        Optional pre-allocated output of shape ``(..., (lmax+1)^2)``.
+
+    Returns
+    -------
+    Array of shape ``(..., (lmax + 1)^2)``; degree block ``l`` occupies
+    columns ``[l^2, (l+1)^2)`` in order ``m = -l .. l``.
+    """
+    if normalization not in ("integral", "component"):
+        raise ValueError(f"unknown normalization {normalization!r}")
+    v = np.asarray(vectors, dtype=np.float64)
+    if v.shape[-1] != 3:
+        raise ValueError(f"expected (..., 3) vectors, got shape {v.shape}")
+    if normalize:
+        norm = np.linalg.norm(v, axis=-1, keepdims=True)
+        safe = np.where(norm > 0.0, norm, 1.0)
+        v = v / safe
+        # Zero vectors: point at +z so that scalars stay well-defined.
+        v = np.where(norm > 0.0, v, np.array([0.0, 0.0, 1.0]))
+
+    x, y, z = v[..., 0], v[..., 1], v[..., 2]
+    ct = np.clip(z, -1.0, 1.0)  # cos(theta)
+    phi = np.arctan2(y, x)
+
+    plm = legendre_p(lmax, ct)
+
+    shape = v.shape[:-1] + (sh_dim(lmax),)
+    if out is None:
+        out = np.empty(shape, dtype=np.float64)
+    elif out.shape != shape:
+        raise ValueError(f"out has shape {out.shape}, expected {shape}")
+
+    sqrt2 = math.sqrt(2.0)
+    # Precompute cos(m phi), sin(m phi) via recursion to avoid repeated trig.
+    cos_m = [np.ones_like(phi)]
+    sin_m = [np.zeros_like(phi)]
+    cphi, sphi = np.cos(phi), np.sin(phi)
+    for m in range(1, lmax + 1):
+        cos_m.append(cos_m[-1] * cphi - sin_m[-1] * sphi)
+        sin_m.append(sin_m[-1] * cphi + cos_m[-2] * sphi)
+
+    for l in range(lmax + 1):
+        base = l * l
+        if normalization == "integral":
+            scale = 1.0
+        else:  # component: ||Y_l||^2 = 2l + 1 over the sphere
+            scale = math.sqrt(4.0 * math.pi)
+        out[..., base + l] = scale * _sh_norm(l, 0) * plm[..., l, 0]
+        for m in range(1, l + 1):
+            n = scale * sqrt2 * _sh_norm(l, m)
+            out[..., base + l + m] = n * plm[..., l, m] * cos_m[m]
+            out[..., base + l - m] = n * plm[..., l, m] * sin_m[m]
+    return out

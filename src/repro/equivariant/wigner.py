@@ -1,0 +1,153 @@
+"""Wigner-D matrices for the real spherical-harmonic basis.
+
+These matrices are the representation of a 3D rotation on each degree-``l``
+block of spherical-harmonic features.  They are the ground truth against
+which every equivariance property in this repository is tested: a feature
+``x`` of degree ``l`` transforms as ``x -> D_l(R) @ x`` when the molecule is
+rotated by ``R``.
+
+Construction: complex Wigner-D matrices are obtained by exponentiating the
+angular-momentum generators in the standard ``|l, m>`` basis, then conjugated
+into the real basis used by :mod:`repro.equivariant.spherical_harmonics`.
+The convention is fixed so that ``Y(R @ r) == wigner_D(l, R) @ Y(r)``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+__all__ = [
+    "rotation_matrix",
+    "random_rotation",
+    "euler_angles",
+    "wigner_D",
+    "wigner_D_from_angles",
+    "real_to_complex_transform",
+]
+
+
+def rotation_matrix(axis: np.ndarray, angle: float) -> np.ndarray:
+    """3x3 rotation matrix about ``axis`` by ``angle`` (Rodrigues formula)."""
+    axis = np.asarray(axis, dtype=np.float64)
+    n = np.linalg.norm(axis)
+    if n == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / n
+    K = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    return np.eye(3) + math.sin(angle) * K + (1.0 - math.cos(angle)) * (K @ K)
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """A rotation matrix drawn uniformly from SO(3) (QR of a Gaussian)."""
+    m = rng.standard_normal((3, 3))
+    q, r = np.linalg.qr(m)
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] *= -1.0
+    return q
+
+
+def euler_angles(R: np.ndarray) -> Tuple[float, float, float]:
+    """Decompose ``R = Rz(alpha) @ Ry(beta) @ Rz(gamma)`` (ZYZ convention).
+
+    Gimbal-locked rotations (``beta`` near 0 or pi) are resolved by fixing
+    ``gamma = 0``.
+    """
+    R = np.asarray(R, dtype=np.float64)
+    cb = float(np.clip(R[2, 2], -1.0, 1.0))
+    beta = math.acos(cb)
+    sb = math.sin(beta)
+    if sb > 1e-9:
+        alpha = math.atan2(R[1, 2], R[0, 2])
+        gamma = math.atan2(R[2, 1], -R[2, 0])
+    elif cb > 0.0:  # beta ~ 0: pure z rotation by alpha + gamma
+        alpha = math.atan2(R[1, 0], R[0, 0])
+        gamma = 0.0
+    else:  # beta ~ pi
+        alpha = math.atan2(-R[1, 0], -R[0, 0])
+        gamma = 0.0
+    return alpha, beta, gamma
+
+
+@lru_cache(maxsize=None)
+def _generators(l: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Angular-momentum generators ``(Jz, Jy)`` in the standard complex basis.
+
+    Basis order is ``m = -l .. l``; ``J+|l,m> = sqrt(l(l+1) - m(m+1))|l,m+1>``.
+    """
+    dim = 2 * l + 1
+    m = np.arange(-l, l + 1, dtype=np.float64)
+    Jz = np.diag(m).astype(np.complex128)
+    Jp = np.zeros((dim, dim), dtype=np.complex128)
+    for i, mm in enumerate(m[:-1]):  # raises m -> m + 1
+        Jp[i + 1, i] = math.sqrt(l * (l + 1) - mm * (mm + 1))
+    Jm = Jp.conj().T
+    Jy = (Jp - Jm) / 2j
+    return Jz, Jy
+
+
+@lru_cache(maxsize=None)
+def real_to_complex_transform(l: int) -> np.ndarray:
+    """Unitary ``T`` with ``Y_real = T @ Y_standard_complex`` for degree ``l``.
+
+    Rows/columns ordered ``m = -l .. l``.  The real basis matches
+    :func:`repro.equivariant.spherical_harmonics.spherical_harmonics`
+    (sin components at ``-m``, cos components at ``+m``, no Condon-Shortley
+    phase); the complex basis is the standard physics convention (with
+    Condon-Shortley phase).
+    """
+    dim = 2 * l + 1
+    T = np.zeros((dim, dim), dtype=np.complex128)
+    c = l  # index of m = 0
+    T[c, c] = 1.0
+    inv_sqrt2 = 1.0 / math.sqrt(2.0)
+    for m in range(1, l + 1):
+        cs = (-1.0) ** m  # Condon-Shortley phase of the standard basis
+        # cos row (real index +m)
+        T[c + m, c + m] = cs * inv_sqrt2
+        T[c + m, c - m] = inv_sqrt2
+        # sin row (real index -m):  (cs * Y^m - Y^{-m}) / (i sqrt 2)
+        T[c - m, c + m] = -1j * cs * inv_sqrt2
+        T[c - m, c - m] = 1j * inv_sqrt2
+    return T
+
+
+def _complex_wigner_D(l: int, alpha: float, beta: float, gamma: float) -> np.ndarray:
+    """Standard complex Wigner-D: ``exp(-i a Jz) exp(-i b Jy) exp(-i g Jz)``."""
+    Jz, Jy = _generators(l)
+    m = np.arange(-l, l + 1, dtype=np.float64)
+    # exp(-i theta Jz) is diagonal; only the Jy factor needs a dense expm.
+    Ea = np.exp(-1j * alpha * m)
+    Eg = np.exp(-1j * gamma * m)
+    Db = expm(-1j * beta * Jy)
+    return (Ea[:, None] * Db) * Eg[None, :]
+
+
+def wigner_D_from_angles(l: int, alpha: float, beta: float, gamma: float) -> np.ndarray:
+    """Real Wigner-D for ZYZ Euler angles; see :func:`wigner_D`."""
+    T = real_to_complex_transform(l)
+    Dc = _complex_wigner_D(l, alpha, beta, gamma)
+    # Y_std(R r) = conj(D_std) Y_std(r)  =>  real rep = T conj(D) T^dagger.
+    Dr = T @ Dc.conj() @ T.conj().T
+    im = float(np.abs(Dr.imag).max())
+    if im > 1e-9:
+        raise AssertionError(f"real Wigner-D has imaginary residue {im:.3e}")
+    return np.ascontiguousarray(Dr.real)
+
+
+def wigner_D(l: int, R: np.ndarray) -> np.ndarray:
+    """Real Wigner-D matrix of degree ``l`` for rotation matrix ``R``.
+
+    Satisfies ``spherical_harmonics(l, R @ r) == wigner_D(l, R) @
+    spherical_harmonics(l, r)`` (both normalizations, since they differ by a
+    scalar per degree).
+    """
+    if l == 0:
+        return np.ones((1, 1))
+    alpha, beta, gamma = euler_angles(R)
+    return wigner_D_from_angles(l, alpha, beta, gamma)

@@ -1,0 +1,69 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run()`` (returns structured results) and ``report()``
+(formats them in the paper's layout).  ``run_all()`` regenerates everything
+— this is what ``EXPERIMENTS.md`` records.
+"""
+
+from . import (
+    figure5,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    table3,
+)
+
+__all__ = [
+    "table3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "run_all",
+]
+
+
+def run_all(fast: bool = True) -> str:
+    """Run every experiment and return the combined report.
+
+    ``fast=True`` scales down the Monte-Carlo-ish parts (structure counts,
+    training epochs) so the whole suite finishes in a couple of minutes.
+    """
+    sections = []
+    sections.append(("Table 3 — dataset composition", table3.report(table3.run())))
+    sections.append(
+        (
+            "Figure 5 — per-system graph statistics",
+            figure5.report(figure5.run(samples_per_system=10 if fast else 50)),
+        )
+    )
+    sections.append(("Figure 6 — ablation", figure6.report(figure6.run())))
+    sections.append(("Figures 7-8 — strong scaling", figure7.report(figure7.run())))
+    sections.append(
+        (
+            "Figure 9 — training-loss parity",
+            figure9.report(
+                figure9.run(n_samples=8 if fast else 24, n_epochs=4 if fast else 16)
+            ),
+        )
+    )
+    sections.append(("Figure 10 — weak scaling", figure10.report(figure10.run())))
+    sections.append(("Figure 11 — bin-capacity bounds", figure11.report(figure11.run())))
+    sections.append(("Figure 12 — workload distribution", figure12.report(figure12.run())))
+    sections.append(("Figure 13 — comp/comm profiles", figure13.report(figure13.run())))
+    out = []
+    for title, body in sections:
+        out.append("=" * 72)
+        out.append(title)
+        out.append("=" * 72)
+        out.append(body)
+        out.append("")
+    return "\n".join(out)

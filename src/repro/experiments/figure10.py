@@ -1,0 +1,80 @@
+"""Experiment: Figure 10 — weak scaling.
+
+Per-epoch execution time as GPUs scale 16 -> 32 -> 64 while the dataset
+grows small (0.6 M) -> medium (1.2 M) -> large (2.65 M), keeping the
+workload per GPU roughly constant.  Flat lines = perfect weak scaling; the
+paper finds the fully optimized configuration flattest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..data import build_spec
+from .common import (
+    balanced_workloads,
+    fixed_count_workloads,
+    format_table,
+    simulate,
+)
+
+__all__ = ["WeakScalingPoint", "run", "report", "WEAK_SETUP"]
+
+WEAK_SETUP = [("small", 16), ("medium", 32), ("large", 64)]
+
+CONFIGS = (
+    ("MACE", "fixed", "baseline"),
+    ("MACE + load balancer", "balanced", "baseline"),
+    ("MACE + kernel optimization", "fixed", "optimized"),
+    ("MACE + load balancer + kernel optimization", "balanced", "optimized"),
+)
+
+
+@dataclass(frozen=True)
+class WeakScalingPoint:
+    config: str
+    dataset: str
+    num_gpus: int
+    epoch_minutes: float
+
+
+def run(seed: int = 0) -> List[WeakScalingPoint]:
+    """Simulate the weak-scaling ladder."""
+    points: List[WeakScalingPoint] = []
+    for split, gpus in WEAK_SETUP:
+        spec = build_spec(split, seed=seed)
+        fixed = fixed_count_workloads(spec, seed=seed + 1)
+        balanced = balanced_workloads(spec, gpus)
+        for name, plan, variant in CONFIGS:
+            work = balanced if plan == "balanced" else fixed
+            t = simulate(work, gpus, variant).epoch_time
+            points.append(WeakScalingPoint(name, split, gpus, t / 60.0))
+    return points
+
+
+def weak_scaling_efficiency(points: List[WeakScalingPoint], config: str) -> float:
+    """first / last epoch time of a config across the ladder (1.0 = flat)."""
+    series = [p.epoch_minutes for p in points if p.config == config]
+    return series[0] / series[-1]
+
+
+def report(points: List[WeakScalingPoint]) -> str:
+    setups = [(s, g) for s, g in WEAK_SETUP]
+    by = {(p.config, p.num_gpus): p for p in points}
+    rows = []
+    for name, _, _ in CONFIGS:
+        row = [name]
+        for split, gpus in setups:
+            row.append(f"{by[(name, gpus)].epoch_minutes:.1f}")
+        row.append(f"{weak_scaling_efficiency(points, name):.2f}")
+        rows.append(tuple(row))
+    header = ["Configuration"] + [f"{g} GPUs ({s})" for s, g in setups] + ["efficiency"]
+    return "Weak scaling, per-epoch minutes:\n" + format_table(header, rows)
+
+
+__all__.append("weak_scaling_efficiency")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

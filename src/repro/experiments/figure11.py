@@ -1,0 +1,109 @@
+"""Experiment: Figure 11 — empirical lower bound on bin capacity (§5.5).
+
+Single-GPU execution time versus batch size for small (40-atom) and big
+(500-atom) clusters with Float64, showing the compute-saturation knee: for
+small clusters, time barely moves until the batch carries ~400 tokens
+(Float64) / ~800 (Float32); for big clusters, doubling the batch size
+doubles the time from the start.
+
+Also reports the §5.5 memory ceiling (~2000 tokens with Float64, ~4000
+with Float32) from the workload model's activation-memory estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+import numpy as np
+
+from ..cluster import A100, MACEWorkloadModel, PAPER_MODEL
+from .common import format_table
+
+__all__ = ["SweepPoint", "run", "report", "BATCH_SIZES", "memory_ceiling_tokens"]
+
+BATCH_SIZES = (1, 5, 10, 50)
+SMALL_ATOMS = 40
+BIG_ATOMS = 500
+EDGES_PER_ATOM = 25.0
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    cluster: str
+    batch_size: int
+    tokens: int
+    time_seconds: float
+
+
+def run(dtype_bytes: int = 8) -> List[SweepPoint]:
+    """Sweep batch sizes for both cluster sizes on one simulated GPU."""
+    model = replace(PAPER_MODEL, dtype_bytes=dtype_bytes)
+    points: List[SweepPoint] = []
+    for name, atoms in (("small", SMALL_ATOMS), ("big", BIG_ATOMS)):
+        for bs in BATCH_SIZES:
+            tokens = np.array([atoms * bs], dtype=np.float64)
+            edges = tokens * EDGES_PER_ATOM
+            t = float(model.step_times(A100, tokens, edges, "optimized")[0])
+            points.append(SweepPoint(name, bs, int(tokens[0]), t))
+    return points
+
+
+def memory_ceiling_tokens(dtype_bytes: int = 8, edges_per_atom: float = EDGES_PER_ATOM) -> int:
+    """Largest token count whose activations fit in GPU memory (§5.5)."""
+    model = replace(PAPER_MODEL, dtype_bytes=dtype_bytes)
+    tokens = np.arange(100, 20000, 50, dtype=np.float64)
+    mem = model.memory_per_batch(tokens, tokens * edges_per_atom)
+    fits = tokens[mem <= A100.memory_bytes]
+    return int(fits.max()) if fits.size else 0
+
+
+def saturation_knee(points: List[SweepPoint], cluster: str = "small") -> int:
+    """Token count where time starts growing ~linearly for a cluster size."""
+    series = [(p.tokens, p.time_seconds) for p in points if p.cluster == cluster]
+    base = series[0][1]
+    for tokens, t in series:
+        if t > 1.5 * base:
+            return tokens
+    return series[-1][0]
+
+
+def report(points: List[SweepPoint]) -> str:
+    rows = [
+        (p.cluster, p.batch_size, p.tokens, f"{p.time_seconds:.3f}")
+        for p in points
+    ]
+    ceiling64 = memory_ceiling_tokens(8)
+    ceiling32 = memory_ceiling_tokens(4)
+    from ..utils import line_chart
+
+    chart = line_chart(
+        {
+            name: (
+                [p.batch_size for p in points if p.cluster == name],
+                [p.time_seconds for p in points if p.cluster == name],
+            )
+            for name in ("small", "big")
+        },
+        log_x=True,
+        log_y=True,
+        title="Figure 11: execution time vs batch size (log-log, Float64)",
+        x_label="batch size",
+        height=12,
+    )
+    return (
+        format_table(["Cluster", "Batch size", "Tokens", "Time (s)"], rows)
+        + "\n\n"
+        + chart
+        + f"\n\ncompute-saturation lower bound (paper: ~400 tokens fp64 / ~800 fp32):"
+        + f" {A100.saturation_tokens_fp64} / {A100.saturation_tokens_fp32} tokens"
+        + f"\nmemory ceiling (paper: ~2000 fp64 / ~4000 fp32):"
+        + f" {ceiling64} / {ceiling32} tokens"
+    )
+
+
+__all__.append("saturation_knee")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

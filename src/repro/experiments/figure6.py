@@ -1,0 +1,94 @@
+"""Experiment: Figure 6 — ablation of the two optimizations.
+
+Measures the speedup (relative to baseline MACE) of (a) the load balancer
+alone and (b) the kernel optimization alone, on the small / medium / large
+dataset splits at the paper's corresponding machine sizes (16 / 32 / 64
+nodes = 64 / 128 / 256 GPUs).
+
+Paper reference values: load balancer 1.60 / 2.20 / 3.33, kernel
+optimization 1.74 / 1.77 / 1.67 (small / medium / large).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..data import build_spec
+from .common import (
+    balanced_workloads,
+    fixed_count_workloads,
+    format_table,
+    simulate,
+)
+
+__all__ = ["AblationRow", "run", "report", "PAPER_SPEEDUPS"]
+
+# (dataset split, GPUs): paper runs 16/32/64 *nodes* with 4 GPUs each.
+ABLATION_SETUP = [("small", 64), ("medium", 128), ("large", 256)]
+
+PAPER_SPEEDUPS = {
+    "small": {"load_balancer": 1.60, "kernel": 1.74},
+    "medium": {"load_balancer": 2.20, "kernel": 1.77},
+    "large": {"load_balancer": 3.33, "kernel": 1.67},
+}
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """Speedups of each optimization in isolation on one dataset split."""
+
+    dataset: str
+    num_gpus: int
+    baseline_minutes: float
+    load_balancer_speedup: float
+    kernel_speedup: float
+    combined_speedup: float
+
+
+def run(seed: int = 0) -> List[AblationRow]:
+    """Simulate the ablation grid."""
+    rows: List[AblationRow] = []
+    for split, gpus in ABLATION_SETUP:
+        spec = build_spec(split, seed=seed)
+        fixed = fixed_count_workloads(spec, seed=seed + 1)
+        balanced = balanced_workloads(spec, gpus)
+        t_base = simulate(fixed, gpus, "baseline").epoch_time
+        t_lb = simulate(balanced, gpus, "baseline").epoch_time
+        t_k = simulate(fixed, gpus, "optimized").epoch_time
+        t_both = simulate(balanced, gpus, "optimized").epoch_time
+        rows.append(
+            AblationRow(
+                split,
+                gpus,
+                t_base / 60.0,
+                t_base / t_lb,
+                t_base / t_k,
+                t_base / t_both,
+            )
+        )
+    return rows
+
+
+def report(rows: List[AblationRow]) -> str:
+    table_rows = []
+    for r in rows:
+        paper = PAPER_SPEEDUPS[r.dataset]
+        table_rows.append(
+            (
+                r.dataset,
+                r.num_gpus,
+                f"{r.baseline_minutes:.1f}",
+                f"{r.load_balancer_speedup:.2f}x (paper {paper['load_balancer']:.2f}x)",
+                f"{r.kernel_speedup:.2f}x (paper {paper['kernel']:.2f}x)",
+                f"{r.combined_speedup:.2f}x",
+            )
+        )
+    return format_table(
+        ["Dataset", "GPUs", "Baseline (min)", "+Load balancer", "+Kernel opt", "Combined"],
+        table_rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

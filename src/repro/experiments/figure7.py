@@ -1,0 +1,125 @@
+"""Experiment: Figures 7 & 8 — strong scaling on the 2.65 M-sample dataset.
+
+Per-epoch execution time of the four configurations (baseline, +load
+balancer, +kernel optimization, +both) from 16 to 740 GPUs, plus the
+speedup of each optimized configuration over baseline MACE (Figure 8) and
+the strong-scaling efficiency of the fully optimized configuration (§5.4.1
+reports 86.5 % from 16 to 740 GPUs; headline: 12 -> 2 minutes at 740).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..data import build_spec
+from .common import (
+    balanced_workloads,
+    fixed_count_workloads,
+    format_table,
+    simulate,
+)
+
+__all__ = ["ScalingPoint", "run", "report", "GPU_COUNTS", "strong_scaling_efficiency"]
+
+GPU_COUNTS = (16, 32, 64, 128, 256, 512, 740)
+
+CONFIGS = (
+    ("MACE", "fixed", "baseline"),
+    ("MACE + load balancer", "balanced", "baseline"),
+    ("MACE + kernel optimization", "fixed", "optimized"),
+    ("MACE + load balancer + kernel optimization", "balanced", "optimized"),
+)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Per-epoch time of one configuration at one GPU count."""
+
+    config: str
+    num_gpus: int
+    epoch_minutes: float
+    speedup_vs_baseline: float
+
+
+def run(seed: int = 0, gpu_counts: Tuple[int, ...] = GPU_COUNTS) -> List[ScalingPoint]:
+    """Simulate the full strong-scaling grid."""
+    spec = build_spec("large", seed=seed)
+    fixed = fixed_count_workloads(spec, seed=seed + 1)
+    points: List[ScalingPoint] = []
+    for gpus in gpu_counts:
+        balanced = balanced_workloads(spec, gpus)
+        times: Dict[str, float] = {}
+        for name, plan, variant in CONFIGS:
+            work = balanced if plan == "balanced" else fixed
+            times[name] = simulate(work, gpus, variant).epoch_time
+        base = times["MACE"]
+        for name, _, _ in CONFIGS:
+            points.append(
+                ScalingPoint(name, gpus, times[name] / 60.0, base / times[name])
+            )
+    return points
+
+
+def strong_scaling_efficiency(
+    points: List[ScalingPoint],
+    config: str = "MACE + load balancer + kernel optimization",
+    base_gpus: int = 16,
+) -> float:
+    """``T1 / (P_ratio * T_P) * 100`` between the smallest and largest runs."""
+    times = {p.num_gpus: p.epoch_minutes for p in points if p.config == config}
+    gmin, gmax = min(times), max(times)
+    if gmin != base_gpus:
+        gmin = min(times)
+    ratio = gmax / gmin
+    return times[gmin] / (ratio * times[gmax]) * 100.0
+
+
+def report(points: List[ScalingPoint]) -> str:
+    gpu_counts = sorted({p.num_gpus for p in points})
+    by = {(p.config, p.num_gpus): p for p in points}
+    rows = []
+    for name, _, _ in CONFIGS:
+        row = [name]
+        for g in gpu_counts:
+            p = by[(name, g)]
+            row.append(f"{p.epoch_minutes:.1f}")
+        rows.append(tuple(row))
+    speed_rows = []
+    for name, _, _ in CONFIGS[1:]:
+        row = [name + " (speedup)"]
+        for g in gpu_counts:
+            row.append(f"{by[(name, g)].speedup_vs_baseline:.2f}x")
+        speed_rows.append(tuple(row))
+    eff = strong_scaling_efficiency(points)
+    header = ["Configuration"] + [f"{g} GPUs" for g in gpu_counts]
+    from ..utils import line_chart
+
+    chart = line_chart(
+        {
+            name: (
+                gpu_counts,
+                [by[(name, g)].epoch_minutes for g in gpu_counts],
+            )
+            for name, _, _ in CONFIGS
+        },
+        log_x=True,
+        log_y=True,
+        title="Figure 7: per-epoch minutes vs GPUs (log-log)",
+        x_label="GPUs",
+        y_label="min",
+    )
+    return (
+        "Per-epoch execution time (minutes):\n"
+        + format_table(header, rows)
+        + "\n\n"
+        + chart
+        + "\n\nSpeedup w.r.t. baseline MACE (Figure 8):\n"
+        + format_table(header, speed_rows)
+        + f"\n\nStrong-scaling efficiency (optimized, 16 -> 740 GPUs): {eff:.1f}%"
+        + " (paper: 86.5%)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

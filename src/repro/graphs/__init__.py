@@ -1,0 +1,22 @@
+"""Molecular graph substrate: data structures, neighbor lists, batching."""
+
+from .molecular_graph import ATOMIC_NUMBERS, SPECIES_LIST, MolecularGraph
+from .neighborlist import (
+    DEFAULT_CUTOFF,
+    brute_force_neighbor_list,
+    build_neighbor_list,
+    cell_list_neighbor_list,
+)
+from .batch import GraphBatch, collate
+
+__all__ = [
+    "MolecularGraph",
+    "ATOMIC_NUMBERS",
+    "SPECIES_LIST",
+    "GraphBatch",
+    "collate",
+    "build_neighbor_list",
+    "brute_force_neighbor_list",
+    "cell_list_neighbor_list",
+    "DEFAULT_CUTOFF",
+]

@@ -1,0 +1,162 @@
+"""Molecular graph data structures.
+
+A molecular configuration is a 3D geometric graph: atoms are vertices with
+positions and species, and edges connect atom pairs within a distance
+cutoff (including periodic images).  This is the unit of data CFM training
+distributes — thousands to millions of *small* graphs, in contrast to the
+single massive graph of social-network GNN workloads (paper Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["MolecularGraph", "ATOMIC_NUMBERS", "SPECIES_LIST"]
+
+# Species used across the eight synthetic chemical systems (Table 3).
+ATOMIC_NUMBERS: Dict[str, int] = {
+    "H": 1, "O": 8, "Al": 13, "Si": 14, "S": 16, "Cl": 17,
+    "Ti": 22, "V": 23, "Cr": 24, "Mn": 25, "Fe": 26, "Co": 27,
+    "Ni": 28, "Cu": 29, "Zn": 30, "Se": 34, "Mo": 42, "Te": 52, "W": 74,
+}
+SPECIES_LIST = sorted(ATOMIC_NUMBERS, key=ATOMIC_NUMBERS.get)
+
+
+@dataclass
+class MolecularGraph:
+    """One molecular/material configuration.
+
+    Attributes
+    ----------
+    positions:
+        ``(n_atoms, 3)`` Cartesian coordinates in Angstrom.
+    species:
+        ``(n_atoms,)`` atomic numbers.
+    cell:
+        Optional ``(3, 3)`` lattice matrix (rows are lattice vectors) for
+        periodic systems; ``None`` for isolated molecules.
+    pbc:
+        Whether edges wrap across periodic boundaries (requires ``cell``).
+    energy:
+        Optional reference total energy label (eV).
+    forces:
+        Optional ``(n_atoms, 3)`` reference forces (eV/Angstrom).
+    edge_index:
+        Lazily built ``(2, n_edges)`` sender/receiver array (directed; both
+        directions stored).  Populated by
+        :func:`repro.graphs.neighborlist.build_neighbor_list`.
+    edge_shift:
+        ``(n_edges, 3)`` lattice shift vectors (integer combinations of the
+        cell applied to the *sender*) so that displacement =
+        ``positions[sender] + shift - positions[receiver]``.
+    system:
+        Name of the chemical system this sample was drawn from (Table 3).
+    """
+
+    positions: np.ndarray
+    species: np.ndarray
+    cell: Optional[np.ndarray] = None
+    pbc: bool = False
+    energy: Optional[float] = None
+    forces: Optional[np.ndarray] = None
+    edge_index: Optional[np.ndarray] = None
+    edge_shift: Optional[np.ndarray] = None
+    system: str = "unknown"
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        self.species = np.ascontiguousarray(self.species, dtype=np.int64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError(f"positions must be (n, 3), got {self.positions.shape}")
+        if self.species.shape != (self.positions.shape[0],):
+            raise ValueError("species must have one entry per atom")
+        if self.pbc and self.cell is None:
+            raise ValueError("periodic graph requires a cell")
+        if self.cell is not None:
+            self.cell = np.ascontiguousarray(self.cell, dtype=np.float64)
+            if self.cell.shape != (3, 3):
+                raise ValueError(f"cell must be (3, 3), got {self.cell.shape}")
+
+    @property
+    def n_atoms(self) -> int:
+        """Vertex count — the "token count" of the load balancer."""
+        return int(self.positions.shape[0])
+
+    @property
+    def n_edges(self) -> int:
+        """Directed edge count (0 before neighbor-list construction)."""
+        return 0 if self.edge_index is None else int(self.edge_index.shape[1])
+
+    @property
+    def has_edges(self) -> bool:
+        """True once a neighbor list has been attached."""
+        return self.edge_index is not None
+
+    def displacement_vectors(self) -> np.ndarray:
+        """``(n_edges, 3)`` vectors r_ji from sender j to receiver i.
+
+        Includes periodic shifts when present.
+        """
+        if self.edge_index is None:
+            raise ValueError("neighbor list not built")
+        send, recv = self.edge_index
+        vec = self.positions[send] - self.positions[recv]
+        if self.edge_shift is not None:
+            vec = vec + self.edge_shift
+        return vec
+
+    def sparsity(self) -> float:
+        """Edge density relative to a complete directed graph.
+
+        One of the diversity axes characterized in Figure 5.  Periodic
+        systems may connect the same atom pair through several images (and
+        an atom to its own image); only distinct ordered pairs with
+        ``i != j`` are counted, so the value always lies in [0, 1].
+        """
+        n = self.n_atoms
+        if n <= 1 or self.edge_index is None:
+            return 0.0
+        send, recv = self.edge_index
+        distinct = send != recv
+        pair_codes = np.unique(send[distinct] * n + recv[distinct])
+        return pair_codes.size / (n * (n - 1))
+
+    def rotated(self, R: np.ndarray) -> "MolecularGraph":
+        """A copy with positions (and cell/forces) rotated by ``R``."""
+        return MolecularGraph(
+            positions=self.positions @ R.T,
+            species=self.species.copy(),
+            cell=None if self.cell is None else self.cell @ R.T,
+            pbc=self.pbc,
+            energy=self.energy,
+            forces=None if self.forces is None else self.forces @ R.T,
+            system=self.system,
+        )
+
+    def translated(self, t: np.ndarray) -> "MolecularGraph":
+        """A copy with positions rigidly translated by ``t``."""
+        return MolecularGraph(
+            positions=self.positions + np.asarray(t, dtype=np.float64),
+            species=self.species.copy(),
+            cell=None if self.cell is None else self.cell.copy(),
+            pbc=self.pbc,
+            energy=self.energy,
+            forces=None if self.forces is None else self.forces.copy(),
+            system=self.system,
+        )
+
+    def permuted(self, perm: np.ndarray) -> "MolecularGraph":
+        """A copy with atoms re-ordered by ``perm`` (labels follow atoms)."""
+        perm = np.asarray(perm)
+        return MolecularGraph(
+            positions=self.positions[perm],
+            species=self.species[perm],
+            cell=None if self.cell is None else self.cell.copy(),
+            pbc=self.pbc,
+            energy=self.energy,
+            forces=None if self.forces is None else self.forces[perm],
+            system=self.system,
+        )

@@ -1,0 +1,251 @@
+"""Neighbor-list construction with and without periodic boundaries.
+
+Edges of a molecular graph are "dynamic … based on distance cutoffs between
+atoms" (paper Table 1): every ordered pair within ``r_cutoff`` — including
+pairs across periodic boundary images — becomes a directed edge.  The paper
+uses ``r_cutoff = 4.5 Å`` for its combined dataset (§5.1.1 uses 4 Å for the
+definition and 4.5 Å in the hyperparameters; we default to 4.5 and keep it
+a parameter everywhere).
+
+Two interchangeable implementations are provided:
+
+* :func:`brute_force_neighbor_list` — O(n²) reference, used by tests;
+* :func:`cell_list_neighbor_list` — O(n) spatial-hashing implementation for
+  larger periodic systems.
+
+Both return directed edges in both orientations, the convention MACE's
+message passing expects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .molecular_graph import MolecularGraph
+
+__all__ = [
+    "brute_force_neighbor_list",
+    "cell_list_neighbor_list",
+    "build_neighbor_list",
+    "DEFAULT_CUTOFF",
+]
+
+DEFAULT_CUTOFF = 4.5  # Angstrom, the paper's r_cutoff (§5.2)
+
+
+def _periodic_images(cell: np.ndarray, cutoff: float) -> np.ndarray:
+    """Integer shift vectors whose images can fall within ``cutoff``.
+
+    The number of repeats per lattice direction is derived from the
+    perpendicular distance between opposing cell faces, so skewed cells are
+    handled correctly.
+    """
+    # Perpendicular widths: V / area(face) per direction.
+    volume = abs(np.linalg.det(cell))
+    if volume < 1e-12:
+        raise ValueError("cell is singular")
+    cross = np.stack(
+        [
+            np.cross(cell[1], cell[2]),
+            np.cross(cell[2], cell[0]),
+            np.cross(cell[0], cell[1]),
+        ]
+    )
+    widths = volume / np.linalg.norm(cross, axis=1)
+    reps = np.maximum(np.ceil(cutoff / widths).astype(int), 0)
+    ranges = [range(-r, r + 1) for r in reps]
+    return np.array(list(itertools.product(*ranges)), dtype=np.int64)
+
+
+def brute_force_neighbor_list(
+    positions: np.ndarray,
+    cutoff: float,
+    cell: Optional[np.ndarray] = None,
+    pbc: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All-pairs neighbor list; the correctness reference.
+
+    Returns
+    -------
+    edge_index:
+        ``(2, n_edges)`` array of (sender, receiver) pairs, both directions.
+    edge_shift:
+        ``(n_edges, 3)`` Cartesian shift added to the *sender* position.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    n = pos.shape[0]
+    if n == 0:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+    senders, receivers, shifts = [], [], []
+    if pbc and cell is not None:
+        images = _periodic_images(cell, cutoff)
+        shift_vecs = images @ cell
+        for s_idx in range(shift_vecs.shape[0]):
+            shift = shift_vecs[s_idx]
+            is_zero = bool(np.all(images[s_idx] == 0))
+            # delta[j, i] = pos[j] + shift - pos[i]
+            delta = pos[:, None, :] + shift - pos[None, :, :]
+            dist2 = np.einsum("jik,jik->ji", delta, delta)
+            mask = dist2 <= cutoff * cutoff
+            if is_zero:
+                np.fill_diagonal(mask, False)
+            j, i = np.nonzero(mask)
+            senders.append(j)
+            receivers.append(i)
+            shifts.append(np.broadcast_to(shift, (j.size, 3)))
+    else:
+        delta = pos[:, None, :] - pos[None, :, :]
+        dist2 = np.einsum("jik,jik->ji", delta, delta)
+        mask = dist2 <= cutoff * cutoff
+        np.fill_diagonal(mask, False)
+        j, i = np.nonzero(mask)
+        senders.append(j)
+        receivers.append(i)
+        shifts.append(np.zeros((j.size, 3)))
+    edge_index = np.stack(
+        [np.concatenate(senders), np.concatenate(receivers)]
+    ).astype(np.int64)
+    edge_shift = np.concatenate(shifts, axis=0)
+    return edge_index, edge_shift
+
+
+def cell_list_neighbor_list(
+    positions: np.ndarray,
+    cutoff: float,
+    cell: Optional[np.ndarray] = None,
+    pbc: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spatial-hashing neighbor list, O(n) for homogeneous densities.
+
+    Non-periodic path bins atoms into a cubic grid of side ``cutoff`` and
+    compares only neighboring bins.  The periodic path currently defers to
+    the brute-force reference when the cell is small relative to the cutoff
+    (where image enumeration dominates anyway) and uses a grid otherwise.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    n = pos.shape[0]
+    if n == 0:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+    if pbc and cell is not None:
+        widths = _cell_widths(cell)
+        if np.any(widths < 3.0 * cutoff):
+            # Few bins per direction: grid gains nothing over brute force.
+            return brute_force_neighbor_list(pos, cutoff, cell, pbc)
+        return _grid_periodic(pos, cutoff, cell)
+    return _grid_open(pos, cutoff)
+
+
+def _cell_widths(cell: np.ndarray) -> np.ndarray:
+    volume = abs(np.linalg.det(cell))
+    cross = np.stack(
+        [
+            np.cross(cell[1], cell[2]),
+            np.cross(cell[2], cell[0]),
+            np.cross(cell[0], cell[1]),
+        ]
+    )
+    return volume / np.linalg.norm(cross, axis=1)
+
+
+def _grid_open(pos: np.ndarray, cutoff: float) -> Tuple[np.ndarray, np.ndarray]:
+    n = pos.shape[0]
+    origin = pos.min(axis=0)
+    coords = np.floor((pos - origin) / cutoff).astype(np.int64)
+    buckets: dict = {}
+    for idx in range(n):
+        buckets.setdefault(tuple(coords[idx]), []).append(idx)
+    offsets = np.array(list(itertools.product((-1, 0, 1), repeat=3)))
+    senders, receivers = [], []
+    cut2 = cutoff * cutoff
+    for key, members in buckets.items():
+        mem = np.asarray(members)
+        cand = []
+        base = np.asarray(key)
+        for off in offsets:
+            other = buckets.get(tuple(base + off))
+            if other:
+                cand.extend(other)
+        cand = np.asarray(cand)
+        delta = pos[cand][None, :, :] - pos[mem][:, None, :]
+        dist2 = np.einsum("ijk,ijk->ij", delta, delta)
+        ii, jj = np.nonzero(dist2 <= cut2)
+        keep = mem[ii] != cand[jj]
+        senders.append(cand[jj][keep])
+        receivers.append(mem[ii][keep])
+    if senders:
+        edge_index = np.stack(
+            [np.concatenate(senders), np.concatenate(receivers)]
+        ).astype(np.int64)
+    else:
+        edge_index = np.zeros((2, 0), dtype=np.int64)
+    return edge_index, np.zeros((edge_index.shape[1], 3))
+
+
+def _grid_periodic(
+    pos: np.ndarray, cutoff: float, cell: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Periodic grid search via fractional-coordinate binning."""
+    inv = np.linalg.inv(cell)
+    frac = (pos @ inv) % 1.0
+    nbins = np.maximum((_cell_widths(cell) // cutoff).astype(int), 1)
+    coords = np.minimum((frac * nbins).astype(np.int64), nbins - 1)
+    buckets: dict = {}
+    for idx in range(pos.shape[0]):
+        buckets.setdefault(tuple(coords[idx]), []).append(idx)
+    offsets = np.array(list(itertools.product((-1, 0, 1), repeat=3)))
+    senders, receivers, shifts = [], [], []
+    cut2 = cutoff * cutoff
+    for key, members in buckets.items():
+        mem = np.asarray(members)
+        base = np.asarray(key)
+        for off in offsets:
+            raw = base + off
+            wrap = np.floor_divide(raw, nbins)
+            other = buckets.get(tuple(raw - wrap * nbins))
+            if not other:
+                continue
+            cand = np.asarray(other)
+            shift = wrap @ cell  # image shift applied to the sender bucket
+            delta = (pos[cand] + shift)[None, :, :] - pos[mem][:, None, :]
+            dist2 = np.einsum("ijk,ijk->ij", delta, delta)
+            ii, jj = np.nonzero(dist2 <= cut2)
+            same = (mem[ii] == cand[jj]) & np.all(wrap == 0)
+            keep = ~same
+            senders.append(cand[jj][keep])
+            receivers.append(mem[ii][keep])
+            shifts.append(np.broadcast_to(shift, (int(keep.sum()), 3)))
+    if senders:
+        edge_index = np.stack(
+            [np.concatenate(senders), np.concatenate(receivers)]
+        ).astype(np.int64)
+        edge_shift = np.concatenate(shifts, axis=0)
+    else:
+        edge_index = np.zeros((2, 0), dtype=np.int64)
+        edge_shift = np.zeros((0, 3))
+    return edge_index, edge_shift
+
+
+def build_neighbor_list(
+    graph: MolecularGraph,
+    cutoff: float = DEFAULT_CUTOFF,
+    method: str = "auto",
+) -> MolecularGraph:
+    """Attach ``edge_index``/``edge_shift`` to a graph, in place.
+
+    ``method`` is ``"brute"``, ``"cell"`` or ``"auto"`` (cell list above
+    200 atoms).  Returns the same graph for chaining.
+    """
+    if method == "auto":
+        method = "cell" if graph.n_atoms > 200 else "brute"
+    if method == "brute":
+        ei, es = brute_force_neighbor_list(graph.positions, cutoff, graph.cell, graph.pbc)
+    elif method == "cell":
+        ei, es = cell_list_neighbor_list(graph.positions, cutoff, graph.cell, graph.pbc)
+    else:
+        raise ValueError(f"unknown neighbor-list method {method!r}")
+    graph.edge_index = ei
+    graph.edge_shift = es
+    return graph

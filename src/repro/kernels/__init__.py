@@ -1,0 +1,32 @@
+"""The paper's kernel optimizations (§4): baseline vs fused/sparse kernels."""
+
+from .counters import KernelCounter, active_counter, counting, record_kernel
+from .channelwise_tp import (
+    ChannelwiseTPTable,
+    channelwise_tp_baseline,
+    channelwise_tp_optimized,
+    channelwise_tp_table,
+)
+from .symmetric_contraction import (
+    SymContractionSpec,
+    sym_contraction_spec,
+    symmetric_contraction_baseline,
+    symmetric_contraction_optimized,
+    weight_layout,
+)
+
+__all__ = [
+    "KernelCounter",
+    "counting",
+    "active_counter",
+    "record_kernel",
+    "ChannelwiseTPTable",
+    "channelwise_tp_table",
+    "channelwise_tp_baseline",
+    "channelwise_tp_optimized",
+    "SymContractionSpec",
+    "sym_contraction_spec",
+    "weight_layout",
+    "symmetric_contraction_baseline",
+    "symmetric_contraction_optimized",
+]

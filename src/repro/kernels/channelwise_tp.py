@@ -1,0 +1,296 @@
+"""Algorithm 2: the channelwise tensor product building the atomic basis A.
+
+For every edge ``ji`` the kernel combines the edge's spherical harmonics
+``Y_{ji,l1 m1}``, the sender's features ``h_{j,k l2 m2}`` and per-edge
+radial weights ``R_{ji,k (l1 l2 l3)}`` through Clebsch-Gordan coefficients:
+
+    A_{ji, k l3 m3} = sum_{l1 m1 l2 m2} C^{l3 m3}_{l1 m1, l2 m2}
+                      R_{ji, k l1 l2 l3} Y_{ji, l1 m1} h_{j, k l2 m2}
+
+Two implementations share one precomputed path table:
+
+* :func:`channelwise_tp_baseline` — emulates e3nn's structure: one chain of
+  small dense kernels per ``(l1, l2, l3)`` segment, materializing the outer
+  product ``Y (x) h`` in "global memory" each time (Observation 3);
+* :func:`channelwise_tp_optimized` — a single fused pass over the non-zero
+  CG entries only (§4.2: kernel fusion + CG sparsity + one output write).
+
+Both are differentiable (custom backward passes, validated by gradcheck)
+and numerically identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from ..autograd.engine import Function, Tensor
+from ..equivariant.clebsch_gordan import cg_selection_ok, cg_sparse, clebsch_gordan
+from ..equivariant.spherical_harmonics import sh_block_slice, sh_dim
+from .counters import record_kernel
+
+__all__ = [
+    "ChannelwiseTPTable",
+    "channelwise_tp_table",
+    "channelwise_tp_baseline",
+    "channelwise_tp_optimized",
+]
+
+_F8 = 8.0  # bytes per float64 element
+
+
+@dataclass(frozen=True)
+class ChannelwiseTPTable:
+    """Precomputed ("compile-time") structure of the channelwise TP.
+
+    Attributes
+    ----------
+    l1max, l2max, l3max:
+        Degree caps of Y, h and the output A.
+    paths:
+        Valid ``(l1, l2, l3)`` triples in deterministic order; the radial
+        weights R carry one channel slice per path.
+    i1, i2, i3:
+        Flattened SH indices of every non-zero CG entry (into Y, h, A).
+    path_idx:
+        Path each entry belongs to (selects the R slice).
+    values:
+        The CG coefficients.
+    out_groups:
+        ``(i3_value, start, stop)`` runs over the entry arrays, which are
+        sorted by ``i3`` so each output component is one contiguous block.
+    """
+
+    l1max: int
+    l2max: int
+    l3max: int
+    paths: Tuple[Tuple[int, int, int], ...]
+    i1: np.ndarray
+    i2: np.ndarray
+    i3: np.ndarray
+    path_idx: np.ndarray
+    values: np.ndarray
+    out_groups: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def dense_mults(self) -> int:
+        """Multiply count of the dense per-segment approach (per edge-channel)."""
+        return sum(
+            (2 * l1 + 1) * (2 * l2 + 1) * (2 * l3 + 1) for l1, l2, l3 in self.paths
+        )
+
+
+@lru_cache(maxsize=None)
+def channelwise_tp_table(l1max: int, l2max: int, l3max: int) -> ChannelwiseTPTable:
+    """Build (and cache) the path/entry table for given degree caps."""
+    paths: List[Tuple[int, int, int]] = []
+    i1_all, i2_all, i3_all, pid_all, val_all = [], [], [], [], []
+    for l1 in range(l1max + 1):
+        for l2 in range(l2max + 1):
+            for l3 in range(l3max + 1):
+                if not cg_selection_ok(l1, l2, l3):
+                    continue
+                p = len(paths)
+                paths.append((l1, l2, l3))
+                sp = cg_sparse(l1, l2, l3)
+                i1_all.append(sp.m1 + l1 * l1)
+                i2_all.append(sp.m2 + l2 * l2)
+                i3_all.append(sp.m3 + l3 * l3)
+                pid_all.append(np.full(sp.nnz, p, dtype=np.int64))
+                val_all.append(sp.values)
+    i1 = np.concatenate(i1_all)
+    i2 = np.concatenate(i2_all)
+    i3 = np.concatenate(i3_all)
+    pid = np.concatenate(pid_all)
+    vals = np.concatenate(val_all)
+    order = np.argsort(i3, kind="stable")
+    i1, i2, i3, pid, vals = i1[order], i2[order], i3[order], pid[order], vals[order]
+    groups: List[Tuple[int, int, int]] = []
+    start = 0
+    for k in range(1, i3.size + 1):
+        if k == i3.size or i3[k] != i3[start]:
+            groups.append((int(i3[start]), start, k))
+            start = k
+    return ChannelwiseTPTable(
+        l1max,
+        l2max,
+        l3max,
+        tuple(paths),
+        np.ascontiguousarray(i1),
+        np.ascontiguousarray(i2),
+        np.ascontiguousarray(i3),
+        np.ascontiguousarray(pid),
+        np.ascontiguousarray(vals),
+        tuple(groups),
+    )
+
+
+def _check_shapes(Y: np.ndarray, h: np.ndarray, R: np.ndarray, table: ChannelwiseTPTable) -> None:
+    if Y.ndim != 2 or Y.shape[1] != sh_dim(table.l1max):
+        raise ValueError(f"Y must be (E, {sh_dim(table.l1max)}), got {Y.shape}")
+    if h.ndim != 3 or h.shape[2] != sh_dim(table.l2max):
+        raise ValueError(f"h must be (E, K, {sh_dim(table.l2max)}), got {h.shape}")
+    if R.ndim != 3 or R.shape[2] != table.num_paths:
+        raise ValueError(f"R must be (E, K, {table.num_paths}), got {R.shape}")
+    if not (Y.shape[0] == h.shape[0] == R.shape[0]):
+        raise ValueError("edge dimension mismatch between Y, h, R")
+    if h.shape[1] != R.shape[1]:
+        raise ValueError("channel dimension mismatch between h and R")
+
+
+class _ChannelwiseTPBaseline(Function):
+    """Per-segment chain of dense kernels (the e3nn-style reference)."""
+
+    def forward(self, Y, h, R, table: ChannelwiseTPTable):
+        _check_shapes(Y, h, R, table)
+        self.saved = (Y, h, R, table)
+        E, K = h.shape[0], h.shape[1]
+        out = np.zeros((E, K, sh_dim(table.l3max)), dtype=np.float64)
+        for p, (l1, l2, l3) in enumerate(table.paths):
+            s1, s2, s3 = sh_block_slice(l1), sh_block_slice(l2), sh_block_slice(l3)
+            C = clebsch_gordan(l1, l2, l3)
+            d1, d2, d3 = 2 * l1 + 1, 2 * l2 + 1, 2 * l3 + 1
+            # Kernel 1: materialize the outer product uv in global memory.
+            uv = Y[:, None, s1, None] * h[:, :, None, s2]
+            record_kernel(
+                "tp_outer",
+                1,
+                E * K * d1 * d2,
+                _F8 * (E * d1 + E * K * d2 + E * K * d1 * d2),
+            )
+            # Kernel 2: dense contraction with the full (mostly zero) CG block.
+            t = np.einsum("ekmn,mno->eko", uv, C, optimize=True)
+            record_kernel(
+                "tp_contract",
+                1,
+                2.0 * E * K * d1 * d2 * d3,
+                _F8 * (E * K * d1 * d2 + d1 * d2 * d3 + E * K * d3),
+            )
+            # Kernel 3: scale by the radial weight and accumulate.
+            out[:, :, s3] += R[:, :, p, None] * t
+            record_kernel(
+                "tp_scale_accum",
+                1,
+                2.0 * E * K * d3,
+                _F8 * (E * K + 2 * E * K * d3),
+            )
+        return out
+
+    def backward(self, grad):
+        Y, h, R, table = self.saved
+        E, K = h.shape[0], h.shape[1]
+        gY = np.zeros_like(Y)
+        gh = np.zeros_like(h)
+        gR = np.zeros_like(R)
+        for p, (l1, l2, l3) in enumerate(table.paths):
+            s1, s2, s3 = sh_block_slice(l1), sh_block_slice(l2), sh_block_slice(l3)
+            C = clebsch_gordan(l1, l2, l3)
+            g3 = grad[:, :, s3]
+            rg = R[:, :, p, None] * g3  # (E, K, d3)
+            gY[:, s1] += np.einsum(
+                "eko,mno,ekn->em", rg, C, h[:, :, s2], optimize=True
+            )
+            gh[:, :, s2] += np.einsum(
+                "eko,mno,em->ekn", rg, C, Y[:, s1], optimize=True
+            )
+            gR[:, :, p] = np.einsum(
+                "eko,mno,em,ekn->ek", g3, C, Y[:, s1], h[:, :, s2], optimize=True
+            )
+        return gY, gh, gR, None
+
+
+class _ChannelwiseTPOptimized(Function):
+    """Single fused pass over non-zero CG entries (§4.2)."""
+
+    def forward(self, Y, h, R, table: ChannelwiseTPTable):
+        _check_shapes(Y, h, R, table)
+        self.saved = (Y, h, R, table)
+        E, K = h.shape[0], h.shape[1]
+        out = np.zeros((E, K, sh_dim(table.l3max)), dtype=np.float64)
+        for i3, lo, hi in table.out_groups:
+            n = hi - lo
+            # All entries feeding output component i3, processed in one shot:
+            # coeff * Y[:, i1] broadcast against h[:, :, i2] * R[:, :, path].
+            yw = table.values[lo:hi] * Y[:, table.i1[lo:hi]]  # (E, n)
+            hr = h[:, :, table.i2[lo:hi]] * R[:, :, table.path_idx[lo:hi]]  # (E, K, n)
+            out[:, :, i3] = np.einsum("en,ekn->ek", yw, hr, optimize=True)
+        nnz = table.nnz
+        record_kernel(
+            "tp_fused",
+            1,
+            4.0 * E * K * nnz,
+            _F8
+            * (
+                E * sh_dim(table.l1max)
+                + E * K * sh_dim(table.l2max)
+                + E * K * table.num_paths
+                + E * K * sh_dim(table.l3max)
+            ),
+        )
+        return out
+
+    def backward(self, grad):
+        Y, h, R, table = self.saved
+        gY = np.zeros_like(Y)
+        gh = np.zeros_like(h)
+        gR = np.zeros_like(R)
+        # One fused backward pass, grouped by output component.
+        for i3, lo, hi in table.out_groups:
+            i1 = table.i1[lo:hi]
+            i2 = table.i2[lo:hi]
+            pid = table.path_idx[lo:hi]
+            c = table.values[lo:hi]
+            g = grad[:, :, i3]  # (E, K)
+            hseg = h[:, :, i2]
+            Rseg = R[:, :, pid]
+            yseg = Y[:, i1]
+            # dY: sum over channels of g * h * R, scaled by coeff.
+            np.add.at(
+                gY,
+                (slice(None), i1),
+                c[None, :] * np.einsum("ek,ekn->en", g, hseg * Rseg, optimize=True),
+            )
+            gy_h = (c[None, :] * yseg)[:, None, :] * g[:, :, None]  # (E, K, n)
+            np.add.at(gh, (slice(None), slice(None), i2), gy_h * Rseg)
+            np.add.at(gR, (slice(None), slice(None), pid), gy_h * hseg)
+        return gY, gh, gR, None
+
+
+def channelwise_tp_baseline(Y: Tensor, h: Tensor, R: Tensor, table: ChannelwiseTPTable) -> Tensor:
+    """Algorithm 2 with the original per-segment dense-kernel structure.
+
+    Parameters
+    ----------
+    Y:
+        ``(E, (l1max+1)^2)`` edge spherical harmonics.
+    h:
+        ``(E, K, (l2max+1)^2)`` sender features gathered onto edges.
+    R:
+        ``(E, K, num_paths)`` radial weights, one slice per (l1, l2, l3).
+    table:
+        From :func:`channelwise_tp_table`.
+
+    Returns
+    -------
+    ``(E, K, (l3max+1)^2)`` per-edge atomic-basis contributions.
+    """
+    return _ChannelwiseTPBaseline.apply(Y, h, R, table)
+
+
+def channelwise_tp_optimized(Y: Tensor, h: Tensor, R: Tensor, table: ChannelwiseTPTable) -> Tensor:
+    """Algorithm 2 with the paper's optimizations (fusion + CG sparsity).
+
+    Numerically identical to :func:`channelwise_tp_baseline`; see that
+    function for the parameter contract.
+    """
+    return _ChannelwiseTPOptimized.apply(Y, h, R, table)

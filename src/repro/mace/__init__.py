@@ -1,0 +1,23 @@
+"""MACE: higher-order equivariant message-passing force field (Batatia 2022).
+
+The model under optimization in the paper.  The ``kernel_variant`` switch in
+:class:`MACEConfig` selects the baseline (e3nn-style) or optimized (fused,
+CG-sparse) implementations of its two hot kernels.
+"""
+
+from .config import MACEConfig
+from .model import MACE, InteractionLayer
+from .geometry import edge_lengths, edge_spherical_harmonics, edge_vectors
+from .radial import RadialNetwork, bessel_basis, polynomial_cutoff
+
+__all__ = [
+    "MACE",
+    "MACEConfig",
+    "InteractionLayer",
+    "edge_vectors",
+    "edge_lengths",
+    "edge_spherical_harmonics",
+    "RadialNetwork",
+    "bessel_basis",
+    "polynomial_cutoff",
+]

@@ -1,0 +1,201 @@
+"""The MACE model: equivariant message passing with higher body-order products.
+
+Architecture (paper Figure 2):
+
+1. **Embedding** — species -> channel features (degree-0 block of ``h``);
+   edge displacements -> spherical harmonics + Bessel radial features.
+2. **Interaction** (x ``n_layers``) — channelwise tensor product of edge
+   harmonics with sender features, weighted by a radial MLP (Algorithm 2),
+   pooled over neighborhoods into the atomic basis ``A_{i,klm}``.
+3. **Product** — symmetric tensor contraction of ``A`` up to correlation
+   order ``nu`` (Algorithm 3) followed by an equivariant linear update with
+   a residual connection.
+4. **Readout** — intermediate layers: linear on the invariant part; final
+   layer: MLP.  Per-atom energies are pooled per graph.
+
+The ``kernel_variant`` config switch selects baseline vs optimized
+implementations of Algorithms 2-3 — everything else is shared, which is
+what makes the ablation clean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import Tensor, gather_rows, segment_sum
+from ..autograd.engine import no_grad
+from ..equivariant.spherical_harmonics import sh_dim
+from ..graphs.batch import GraphBatch
+from ..kernels import (
+    channelwise_tp_baseline,
+    channelwise_tp_optimized,
+    channelwise_tp_table,
+    sym_contraction_spec,
+    symmetric_contraction_baseline,
+    symmetric_contraction_optimized,
+    weight_layout,
+)
+from ..nn import MLP, Embedding, EquivariantLinear, Linear, Module, Parameter
+from .config import MACEConfig
+from .geometry import edge_lengths, edge_spherical_harmonics, edge_vectors
+from .radial import RadialNetwork
+
+__all__ = ["MACE", "InteractionLayer"]
+
+
+class InteractionLayer(Module):
+    """One MACE interaction + product block (Figure 2 c-d)."""
+
+    def __init__(self, cfg: MACEConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.cfg = cfg
+        K = cfg.num_channels
+        self.tp_table = channelwise_tp_table(cfg.lmax_sh, cfg.l_hidden, cfg.l_atomic_basis)
+        self.radial = RadialNetwork(
+            cfg.n_radial_basis,
+            cfg.radial_mlp_hidden,
+            K,
+            self.tp_table.num_paths,
+            cfg.cutoff,
+            rng,
+        )
+        self.linear_A = EquivariantLinear(K, K, cfg.l_atomic_basis, rng=rng)
+        self.sc_spec = sym_contraction_spec(cfg.l_atomic_basis, cfg.correlation, cfg.l_hidden)
+        scale = 1.0 / math.sqrt(max(self.sc_spec.total_nnz(), 1))
+        for i, (nu, L, n_paths) in enumerate(weight_layout(self.sc_spec)):
+            setattr(
+                self,
+                f"product_weight_{i}",
+                Parameter(rng.standard_normal((cfg.n_species, K, n_paths)) * scale),
+            )
+        self.linear_msg = EquivariantLinear(K, K, cfg.l_hidden, rng=rng)
+        self.linear_skip = EquivariantLinear(K, K, cfg.l_hidden, rng=rng)
+
+    def _product_weights(self) -> List[Parameter]:
+        return [
+            getattr(self, f"product_weight_{i}")
+            for i in range(len(self.sc_spec.blocks))
+        ]
+
+    def forward(
+        self,
+        h: Tensor,
+        Y: Tensor,
+        r: Tensor,
+        edge_index: np.ndarray,
+        species_idx: np.ndarray,
+    ) -> Tensor:
+        cfg = self.cfg
+        send, recv = edge_index
+        n_atoms = h.shape[0]
+        R = self.radial(r)  # (E, K, n_paths)
+        h_j = gather_rows(h, send)  # sender features on edges
+        if cfg.kernel_variant == "optimized":
+            A_edge = channelwise_tp_optimized(Y, h_j, R, self.tp_table)
+        else:
+            A_edge = channelwise_tp_baseline(Y, h_j, R, self.tp_table)
+        # Pool messages onto receivers; normalize by typical neighbor count.
+        A = segment_sum(A_edge, recv, n_atoms) / math.sqrt(cfg.avg_num_neighbors)
+        A = self.linear_A(A)
+        weights = self._product_weights()
+        if cfg.kernel_variant == "optimized":
+            msg = symmetric_contraction_optimized(A, species_idx, weights, self.sc_spec)
+        else:
+            msg = symmetric_contraction_baseline(A, species_idx, weights, self.sc_spec)
+        return self.linear_msg(msg) + self.linear_skip(h)
+
+
+class MACE(Module):
+    """Full MACE potential: graphs in, per-graph energies out.
+
+    Parameters
+    ----------
+    cfg:
+        Hyperparameters; ``cfg.kernel_variant`` selects the kernel paths.
+    seed:
+        Initialization seed (two models with the same seed but different
+        kernel variants have *identical* parameters — the property the
+        loss-parity experiment relies on).
+    """
+
+    def __init__(self, cfg: MACEConfig = MACEConfig(), seed: int = 0) -> None:
+        super().__init__()
+        self.cfg = cfg
+        rng = np.random.default_rng(seed)
+        K = cfg.num_channels
+        self._z_to_idx = {z: i for i, z in enumerate(cfg.species)}
+        self.embedding = Embedding(cfg.n_species, K, rng=rng)
+        for t in range(cfg.n_layers):
+            setattr(self, f"layer{t}", InteractionLayer(cfg, rng))
+        for t in range(cfg.n_layers - 1):
+            setattr(self, f"readout{t}", Linear(K, 1, rng=rng))
+        self.readout_final = MLP([K, cfg.readout_mlp_hidden, 1], rng=rng)
+        self.species_energy = Parameter(np.zeros(cfg.n_species))
+        self.energy_scale = Parameter(np.ones(1))
+
+    # -- species handling -------------------------------------------------------
+
+    def species_indices(self, atomic_numbers: np.ndarray) -> np.ndarray:
+        """Map atomic numbers to embedding rows (raises on unknown species)."""
+        try:
+            return np.asarray(
+                [self._z_to_idx[int(z)] for z in atomic_numbers], dtype=np.int64
+            )
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise KeyError(f"species {exc} not in model config") from exc
+
+    # -- forward -----------------------------------------------------------------
+
+    def forward(
+        self, batch: GraphBatch, positions: Optional[Tensor] = None
+    ) -> Tensor:
+        """Per-graph total energies, shape ``(n_graphs,)``.
+
+        Pass a ``positions`` tensor with ``requires_grad=True`` to obtain
+        forces via ``backward`` (see :meth:`forces`).
+        """
+        cfg = self.cfg
+        if positions is None:
+            positions = Tensor(batch.positions)
+        species_idx = self.species_indices(batch.species)
+        n_atoms = batch.n_atoms
+
+        vec = edge_vectors(positions, batch.edge_index, batch.edge_shift)
+        r = edge_lengths(vec)
+        Y = edge_spherical_harmonics(vec, cfg.lmax_sh)
+
+        # Embedding: degree-0 block carries the species embedding.
+        h0 = self.embedding(species_idx)  # (N, K)
+        zeros = Tensor(np.zeros((n_atoms, cfg.num_channels, sh_dim(cfg.l_hidden) - 1)))
+        from ..autograd.ops import concatenate
+
+        h = concatenate(
+            [h0.reshape((n_atoms, cfg.num_channels, 1)), zeros], axis=2
+        )
+
+        site_energy = gather_rows(self.species_energy, species_idx)  # (N,)
+        for t in range(cfg.n_layers):
+            h = getattr(self, f"layer{t}")(h, Y, r, batch.edge_index, species_idx)
+            invariant = h[:, :, 0]  # (N, K) degree-0 part
+            if t < cfg.n_layers - 1:
+                contrib = getattr(self, f"readout{t}")(invariant)
+            else:
+                contrib = self.readout_final(invariant)
+            site_energy = site_energy + self.energy_scale * contrib.reshape((n_atoms,))
+        return segment_sum(site_energy, batch.graph_index, batch.n_graphs)
+
+    def forces(self, batch: GraphBatch) -> np.ndarray:
+        """``(n_atoms, 3)`` forces, ``F = -dE/dr`` via reverse-mode autograd."""
+        positions = Tensor(batch.positions.copy(), requires_grad=True)
+        energy = self.forward(batch, positions=positions).sum()
+        energy.backward()
+        assert positions.grad is not None
+        return -positions.grad
+
+    def predict_energy(self, batch: GraphBatch) -> np.ndarray:
+        """Per-graph energies as a plain array (no tape)."""
+        with no_grad():
+            return self.forward(batch).numpy()

@@ -1,0 +1,23 @@
+"""Atomistic simulation drivers: MD and geometry optimization on MACE."""
+
+from .calculator import MACECalculator, ReferenceCalculator
+from .integrators import (
+    ATOMIC_MASSES,
+    MDState,
+    Trajectory,
+    VelocityVerlet,
+    temperature,
+)
+from .optimize import FIREResult, fire_relax
+
+__all__ = [
+    "MACECalculator",
+    "ReferenceCalculator",
+    "VelocityVerlet",
+    "MDState",
+    "Trajectory",
+    "temperature",
+    "ATOMIC_MASSES",
+    "fire_relax",
+    "FIREResult",
+]

@@ -1,0 +1,86 @@
+"""Geometry optimization: FIRE relaxation on a calculator's forces.
+
+FIRE (fast inertial relaxation engine) is the standard structural
+relaxation algorithm used with machine-learned potentials; it is plain
+damped dynamics with adaptive timestep and velocity/force mixing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graphs.molecular_graph import MolecularGraph
+from ..graphs.neighborlist import DEFAULT_CUTOFF, build_neighbor_list
+
+__all__ = ["FIREResult", "fire_relax"]
+
+
+@dataclass
+class FIREResult:
+    """Outcome of a FIRE relaxation."""
+
+    converged: bool
+    n_steps: int
+    final_energy: float
+    max_force: float
+    energies: List[float]
+
+
+def fire_relax(
+    calculator,
+    graph: MolecularGraph,
+    fmax: float = 0.05,
+    max_steps: int = 200,
+    dt_start: float = 0.25,
+    dt_max: float = 1.0,
+    cutoff: float = DEFAULT_CUTOFF,
+    rebuild_every: int = 5,
+) -> FIREResult:
+    """Relax a structure until ``max |F| < fmax`` (eV/A) or ``max_steps``.
+
+    The graph's positions are updated in place; the neighbor list is
+    refreshed periodically since relaxation changes the topology.
+    """
+    n_min, f_inc, f_dec, alpha_start, f_alpha = 5, 1.1, 0.5, 0.1, 0.99
+    dt, alpha = dt_start, alpha_start
+    steps_since_negative = 0
+    v = np.zeros_like(graph.positions)
+
+    build_neighbor_list(graph, cutoff=cutoff)
+    energy, forces = calculator.energy_and_forces(graph)
+    energies = [energy]
+    for step in range(1, max_steps + 1):
+        power = float(np.vdot(forces, v))
+        if power > 0.0:
+            steps_since_negative += 1
+            f_norm = np.linalg.norm(forces)
+            v_norm = np.linalg.norm(v)
+            if f_norm > 0:
+                v = (1.0 - alpha) * v + alpha * v_norm * forces / f_norm
+            if steps_since_negative > n_min:
+                dt = min(dt * f_inc, dt_max)
+                alpha *= f_alpha
+        else:
+            steps_since_negative = 0
+            dt *= f_dec
+            alpha = alpha_start
+            v[...] = 0.0
+        v += dt * forces
+        graph.positions += dt * v
+        if step % rebuild_every == 0:
+            build_neighbor_list(graph, cutoff=cutoff)
+        energy, forces = calculator.energy_and_forces(graph)
+        energies.append(energy)
+        max_f = float(np.abs(forces).max()) if forces.size else 0.0
+        if max_f < fmax:
+            return FIREResult(True, step, energy, max_f, energies)
+    return FIREResult(
+        False,
+        max_steps,
+        energy,
+        float(np.abs(forces).max()) if forces.size else 0.0,
+        energies,
+    )

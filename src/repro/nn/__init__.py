@@ -1,0 +1,19 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`."""
+
+from .module import Module, ModuleList, Parameter
+from .layers import Embedding, EquivariantLinear, Linear, MLP
+from .optim import Adam, ExponentialLR, ExponentialMovingAverage, SGD
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "EquivariantLinear",
+    "MLP",
+    "Embedding",
+    "SGD",
+    "Adam",
+    "ExponentialMovingAverage",
+    "ExponentialLR",
+]

@@ -1,0 +1,115 @@
+"""Module/Parameter abstractions (the ``torch.nn`` analogue)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Base class for layers: parameter registration and traversal.
+
+    Attribute assignment auto-registers :class:`Parameter` and child
+    :class:`Module` instances, mirroring PyTorch so model code reads the
+    same way.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """All trainable parameters, depth-first, deterministic order."""
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and every descendant."""
+        yield self
+        for mod in self._modules.values():
+            yield from mod.modules()
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (model size for the DDP comm model)."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays (shapes must match)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={missing} extra={extra}")
+        for name, p in own.items():
+            arr = np.asarray(state[name], dtype=np.float64)
+            if arr.shape != p.shape:
+                raise ValueError(f"shape mismatch for {name}: {arr.shape} vs {p.shape}")
+            p.data[...] = arr
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """An indexable list of sub-modules."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> None:
+        name = str(len(self._list))
+        self._modules[name] = module
+        self._list.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._list[idx]
+
+
+__all__.append("ModuleList")

@@ -1,0 +1,135 @@
+"""Optimizers and learning-rate/EMA schedules.
+
+The paper trains with Adam at learning rate 0.005, an exponential moving
+average, and a weighted loss (§5.2); all three live here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from .module import Module, Parameter
+
+__all__ = ["SGD", "Adam", "ExponentialMovingAverage", "ExponentialLR"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameter references and a step counter."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros(p.shape) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0.0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (the paper's optimizer, §5.2)."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 5e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros(p.shape) for p in self.params]
+        self._v = [np.zeros(p.shape) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.beta1 ** self.t
+        bc2 = 1.0 - self.beta2 ** self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class ExponentialMovingAverage:
+    """EMA of model parameters (the paper's "exponential moving average
+    learning scheduler" companion used for evaluation weights)."""
+
+    def __init__(self, module: Module, decay: float = 0.99) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = decay
+        self._module = module
+        self.shadow: Dict[str, np.ndarray] = {
+            name: p.data.copy() for name, p in module.named_parameters()
+        }
+
+    def update(self) -> None:
+        """Blend current parameters into the shadow copy."""
+        d = self.decay
+        for name, p in self._module.named_parameters():
+            self.shadow[name] *= d
+            self.shadow[name] += (1.0 - d) * p.data
+
+    def copy_to(self, module: Optional[Module] = None) -> None:
+        """Write the shadow parameters into ``module`` (default: tracked one)."""
+        module = module or self._module
+        for name, p in module.named_parameters():
+            p.data[...] = self.shadow[name]
+
+
+class ExponentialLR:
+    """Exponential learning-rate decay: ``lr = lr0 * gamma^epoch``."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.99) -> None:
+        self.optimizer = optimizer
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch."""
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** self.epoch

@@ -1,0 +1,64 @@
+"""Model checkpointing: save/load MACE models as ``.npz`` archives.
+
+Stores the full parameter state plus the hyperparameter configuration so a
+checkpoint is self-describing — ``load_model(path)`` reconstructs the model
+without the caller knowing its architecture.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .mace.config import MACEConfig
+from .mace.model import MACE
+
+__all__ = ["save_model", "load_model"]
+
+_CONFIG_KEY = "__mace_config_json__"
+_VERSION_KEY = "__repro_checkpoint_version__"
+_VERSION = 1
+
+
+def save_model(model: MACE, path: Union[str, Path]) -> Path:
+    """Write parameters + config to a compressed ``.npz`` checkpoint."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    cfg = asdict(model.cfg)
+    cfg["species"] = list(cfg["species"])
+    cfg["radial_mlp_hidden"] = list(cfg["radial_mlp_hidden"])
+    payload = {name: p for name, p in model.state_dict().items()}
+    payload[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(cfg).encode("utf-8"), dtype=np.uint8
+    )
+    payload[_VERSION_KEY] = np.array([_VERSION])
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> MACE:
+    """Reconstruct a MACE model from a checkpoint written by
+    :func:`save_model` (architecture comes from the stored config)."""
+    with np.load(Path(path)) as archive:
+        if _CONFIG_KEY not in archive:
+            raise ValueError(f"{path} is not a repro MACE checkpoint")
+        version = int(archive[_VERSION_KEY][0])
+        if version != _VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        cfg_dict = json.loads(bytes(archive[_CONFIG_KEY]).decode("utf-8"))
+        cfg_dict["species"] = tuple(cfg_dict["species"])
+        cfg_dict["radial_mlp_hidden"] = tuple(cfg_dict["radial_mlp_hidden"])
+        cfg = MACEConfig(**cfg_dict)
+        model = MACE(cfg, seed=0)
+        state = {
+            k: archive[k]
+            for k in archive.files
+            if k not in (_CONFIG_KEY, _VERSION_KEY)
+        }
+        model.load_state_dict(state)
+    return model

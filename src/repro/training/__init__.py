@@ -1,0 +1,17 @@
+"""Training loops (single-process and simulated-DDP) for MACE."""
+
+from .trainer import EnergyScaler, Trainer, TrainResult
+from .metrics import EnergyMetrics, evaluate_energies, evaluate_forces, parity_data
+from .distributed import DistributedRunReport, DistributedTrainingRun
+
+__all__ = [
+    "Trainer",
+    "TrainResult",
+    "EnergyScaler",
+    "EnergyMetrics",
+    "evaluate_energies",
+    "evaluate_forces",
+    "parity_data",
+    "DistributedTrainingRun",
+    "DistributedRunReport",
+]

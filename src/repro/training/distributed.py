@@ -1,0 +1,153 @@
+"""Distributed training runs: real gradients, simulated wall-clock.
+
+This module couples the repository's two halves exactly the way the paper
+couples Figure 9 with Figure 7: the *numerics* of synchronous multi-GPU
+training run for real (per-rank batches, gradient averaging, one optimizer
+step — see :meth:`repro.training.Trainer.ddp_step`), while the *wall-clock*
+each epoch would have cost on the target machine comes from the cluster
+simulator, driven by the very same batch plan.
+
+The result is a single report showing loss versus simulated training time
+for any (sampler, world size, kernel variant) combination — e.g. "what
+does the loss-vs-hours curve look like at 64 GPUs with and without the
+load balancer?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import A100, DRAGONFLY, PAPER_MODEL, simulate_epoch
+from ..cluster.gpu import GPUSpec
+from ..cluster.interconnect import InterconnectSpec
+from ..cluster.workload import MACEWorkloadModel
+from .trainer import Trainer
+
+__all__ = ["DistributedRunReport", "DistributedTrainingRun"]
+
+
+@dataclass
+class DistributedRunReport:
+    """Loss trajectory annotated with simulated cluster time."""
+
+    world_size: int
+    variant: str
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_minutes: List[float] = field(default_factory=list)
+
+    @property
+    def total_minutes(self) -> float:
+        return float(np.sum(self.epoch_minutes))
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return self.epoch_losses[-1]
+
+    def loss_at_time(self) -> List[tuple]:
+        """(cumulative simulated minutes, loss) pairs for plotting."""
+        return list(zip(np.cumsum(self.epoch_minutes).tolist(), self.epoch_losses))
+
+
+class DistributedTrainingRun:
+    """Synchronous data-parallel training with simulated timing.
+
+    Parameters
+    ----------
+    trainer:
+        A :class:`repro.training.Trainer` over labeled graphs.
+    sampler:
+        Any sampler exposing ``all_rank_batches(epoch)`` (both batch
+        samplers in :mod:`repro.distribution` qualify).
+    world_size:
+        Simulated GPU count.  The *numerics* are exact for any world size
+        (gradients are averaged over ranks each step); the wall-clock is
+        what that plan would cost on the modeled cluster.
+    variant:
+        Kernel variant used for the timing model (the numerics of this
+        repository's two variants are identical, so only time differs).
+    """
+
+    def __init__(
+        self,
+        trainer: Trainer,
+        sampler,
+        world_size: int,
+        variant: str = "optimized",
+        workload_model: MACEWorkloadModel = PAPER_MODEL,
+        gpu: GPUSpec = A100,
+        interconnect: InterconnectSpec = DRAGONFLY,
+    ) -> None:
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        self.trainer = trainer
+        self.sampler = sampler
+        self.world_size = int(world_size)
+        self.variant = variant
+        self.workload_model = workload_model
+        self.gpu = gpu
+        self.interconnect = interconnect
+
+    # -- internals --------------------------------------------------------------
+
+    def _epoch_plan(self, epoch: int) -> List[List[List[int]]]:
+        plan = self.sampler.all_rank_batches(epoch)
+        if len(plan) != self.world_size:
+            raise ValueError(
+                f"sampler is configured for {len(plan)} replicas, "
+                f"run expects {self.world_size}"
+            )
+        return plan
+
+    def _simulate_plan(self, plan: List[List[List[int]]]) -> float:
+        """Simulated epoch seconds for this exact batch plan."""
+        graphs = self.trainer.graphs
+        tokens, edges = [], []
+        n_steps = max(len(r) for r in plan)
+        for step in range(n_steps):
+            for rank in range(self.world_size):
+                batch = plan[rank][step] if step < len(plan[rank]) else []
+                tokens.append(sum(graphs[i].n_atoms for i in batch))
+                edges.append(sum(graphs[i].n_edges for i in batch))
+        report = simulate_epoch(
+            np.asarray(tokens, dtype=np.float64),
+            np.asarray(edges, dtype=np.float64),
+            self.world_size,
+            variant=self.variant,
+            model=self.workload_model,
+            gpu=self.gpu,
+            interconnect=self.interconnect,
+        )
+        return report.epoch_time
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, n_epochs: int, verbose: bool = False) -> DistributedRunReport:
+        """Train ``n_epochs`` of synchronous DDP; return the timed report."""
+        report = DistributedRunReport(self.world_size, self.variant)
+        for epoch in range(n_epochs):
+            plan = self._epoch_plan(epoch)
+            n_steps = max(len(r) for r in plan)
+            losses = []
+            for step in range(n_steps):
+                step_batches = [
+                    plan[rank][step]
+                    for rank in range(self.world_size)
+                    if step < len(plan[rank]) and plan[rank][step]
+                ]
+                if not step_batches:
+                    continue
+                losses.append(self.trainer.ddp_step(step_batches))
+            self.trainer.scheduler.step()
+            report.epoch_losses.append(float(np.mean(losses)))
+            report.epoch_minutes.append(self._simulate_plan(plan) / 60.0)
+            if verbose:
+                print(
+                    f"epoch {epoch:3d}  loss {report.epoch_losses[-1]:.5f}  "
+                    f"simulated {report.epoch_minutes[-1]:.2f} min"
+                )
+        return report

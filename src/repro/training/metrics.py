@@ -1,0 +1,112 @@
+"""Evaluation metrics for trained potentials.
+
+Standard MLIP report card: energy MAE/RMSE per atom (overall and broken
+down by chemical system, matching how CFM papers tabulate accuracy across
+their composite datasets) plus force-quality measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..graphs.batch import collate
+from ..graphs.molecular_graph import MolecularGraph
+from ..mace.model import MACE
+
+__all__ = ["EnergyMetrics", "evaluate_energies", "evaluate_forces", "parity_data"]
+
+
+@dataclass(frozen=True)
+class EnergyMetrics:
+    """Per-atom energy errors of a model on a labeled set."""
+
+    mae: float  # mean absolute error, eV/atom
+    rmse: float  # root mean squared error, eV/atom
+    max_error: float  # worst sample, eV/atom
+    n_samples: int
+
+    def __str__(self) -> str:
+        return (
+            f"MAE {self.mae * 1000:.1f} meV/atom, RMSE {self.rmse * 1000:.1f} "
+            f"meV/atom, max {self.max_error * 1000:.1f} meV/atom "
+            f"({self.n_samples} samples)"
+        )
+
+
+def _per_atom_errors(model: MACE, graphs: Sequence[MolecularGraph]) -> np.ndarray:
+    batch = collate(graphs)
+    n_atoms = np.array([g.n_atoms for g in graphs], dtype=float)
+    pred = model.predict_energy(batch)
+    target = np.array([g.energy for g in graphs], dtype=float)
+    if np.isnan(target).any():
+        raise ValueError("evaluation set contains unlabeled graphs")
+    return (pred - target) / n_atoms
+
+
+def evaluate_energies(
+    model: MACE,
+    graphs: Sequence[MolecularGraph],
+    by_system: bool = False,
+) -> Dict[str, EnergyMetrics]:
+    """Energy metrics, optionally split per chemical system.
+
+    Returns a dict keyed by system name (plus ``"overall"``); with
+    ``by_system=False`` only ``"overall"`` is present.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("no graphs to evaluate")
+    errors = _per_atom_errors(model, graphs)
+
+    def metrics(idx: np.ndarray) -> EnergyMetrics:
+        e = errors[idx]
+        return EnergyMetrics(
+            mae=float(np.abs(e).mean()),
+            rmse=float(np.sqrt((e**2).mean())),
+            max_error=float(np.abs(e).max()),
+            n_samples=int(e.size),
+        )
+
+    out = {"overall": metrics(np.arange(len(graphs)))}
+    if by_system:
+        systems = np.array([g.system for g in graphs])
+        for name in np.unique(systems):
+            out[str(name)] = metrics(np.nonzero(systems == name)[0])
+    return out
+
+
+def evaluate_forces(
+    model: MACE, graphs: Sequence[MolecularGraph]
+) -> Dict[str, float]:
+    """Force sanity metrics: magnitude scale and net-force residual.
+
+    Without reference forces (the synthetic labels are energy-only) this
+    reports the physically-checkable quantities: the maximum force
+    magnitude and the worst per-graph net force (must vanish by Newton's
+    third law for isolated systems).
+    """
+    max_force = 0.0
+    worst_net = 0.0
+    for g in graphs:
+        f = model.forces(collate([g]))
+        if f.size:
+            max_force = max(max_force, float(np.abs(f).max()))
+            worst_net = max(worst_net, float(np.abs(f.sum(axis=0)).max()))
+    return {"max_force": max_force, "max_net_force": worst_net}
+
+
+def parity_data(
+    model: MACE, graphs: Sequence[MolecularGraph]
+) -> Dict[str, np.ndarray]:
+    """Predicted-vs-reference per-atom energies (for parity plots)."""
+    graphs = list(graphs)
+    batch = collate(graphs)
+    n_atoms = np.array([g.n_atoms for g in graphs], dtype=float)
+    return {
+        "predicted": model.predict_energy(batch) / n_atoms,
+        "reference": np.array([g.energy for g in graphs]) / n_atoms,
+        "system": np.array([g.system for g in graphs]),
+    }

@@ -1,0 +1,5 @@
+"""Small shared utilities (terminal plotting)."""
+
+from .ascii_plot import bar_chart, line_chart
+
+__all__ = ["line_chart", "bar_chart"]

@@ -1,0 +1,118 @@
+"""Terminal plotting: the figures of the paper, rendered as ASCII.
+
+The experiment harnesses print tables; for the *figure*-shaped results
+(scaling curves, loss trajectories, batch-size sweeps) a picture says more
+than rows.  This module renders multi-series line charts and bar charts in
+plain text with optional logarithmic axes — no plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> List[float]:
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ValueError("log axis requires positive values")
+        out.append(math.log10(v))
+    return out
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series on one ASCII chart.
+
+    Each series gets a marker from a fixed palette; the legend maps
+    markers back to names.  Axis extremes are annotated with the original
+    (pre-log) values.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r} has mismatched x/y lengths")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    tx = _transform(all_x, log_x)
+    ty = _transform(all_y, log_y)
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for x, y in zip(_transform(xs, log_x), _transform(ys, log_y)):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{max(all_y):g}"
+    y_lo_label = f"{min(all_y):g}"
+    pad = max(len(y_hi_label), len(y_lo_label), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_hi_label.rjust(pad)
+        elif r == height - 1:
+            prefix = y_lo_label.rjust(pad)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_axis = f"{min(all_x):g}".ljust(width - 8) + f"{max(all_x):g}".rjust(8)
+    lines.append(" " * pad + " +" + "-" * width + "+")
+    lines.append(" " * pad + "  " + x_axis)
+    if x_label:
+        lines.append(" " * pad + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (used for the per-GPU profile figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(max(values), 1e-12)
+    label_pad = max(len(str(l)) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{str(label).rjust(label_pad)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

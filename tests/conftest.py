@@ -1,0 +1,17 @@
+"""Shared fixtures: seeded RNGs and small labeled graph sets."""
+
+import numpy as np
+import pytest
+
+from repro.data import attach_labels, build_training_set
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_graphs():
+    """A small labeled training set with neighbor lists (session-cached)."""
+    return attach_labels(build_training_set(6, seed=7, max_atoms=40))

@@ -1,0 +1,165 @@
+"""Tests for Algorithm 1 (Create-Balanced-Batches) and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import build_spec
+from repro.distribution import (
+    Bin,
+    create_balanced_batches,
+    evaluate_bins,
+)
+
+
+def assert_valid_packing(bins, sizes, capacity, num_gpus):
+    """The three hard invariants of Algorithm 1's output."""
+    # (1) every graph assigned exactly once (assignment constraint, eq. 7)
+    assigned = sorted(i for b in bins for i in b.items)
+    assert assigned == list(range(len(sizes)))
+    # (2) capacity constraint (eq. 6)
+    for b in bins:
+        assert sum(sizes[i] for i in b.items) == b.used
+        assert b.used <= capacity
+    # (3) bin count is a positive multiple of the GPU count
+    assert len(bins) > 0
+    assert len(bins) % num_gpus == 0
+
+
+class TestBinDataclass:
+    def test_add_updates_state(self):
+        b = Bin(capacity=10)
+        b.add(0, 4)
+        assert b.used == 4 and b.remaining == 6 and b.padding == 6
+
+    def test_add_over_capacity_raises(self):
+        b = Bin(capacity=5)
+        with pytest.raises(ValueError):
+            b.add(0, 6)
+
+
+class TestAlgorithm1:
+    def test_simple_exact_fit(self):
+        bins = create_balanced_batches([3, 3, 2, 2], capacity=5, num_gpus=2)
+        assert_valid_packing(bins, [3, 3, 2, 2], 5, 2)
+        assert len(bins) == 2
+        fills = sorted(b.used for b in bins)
+        assert fills == [5, 5]
+
+    def test_paper_example_figure3(self):
+        """Figure 3's bottom-right bin: graphs of 23 + 24 + 25 = 72 tokens."""
+        bins = create_balanced_batches([23, 24, 25], capacity=72, num_gpus=1)
+        assert len(bins) == 1
+        assert bins[0].used == 72
+
+    def test_single_graph(self):
+        bins = create_balanced_batches([10], capacity=16, num_gpus=4)
+        assert_valid_packing(bins, [10], 16, 4)
+
+    def test_capacity_below_largest_raises(self):
+        with pytest.raises(ValueError):
+            create_balanced_batches([10, 20], capacity=15, num_gpus=1)
+
+    def test_empty_sizes_raises(self):
+        with pytest.raises(ValueError):
+            create_balanced_batches([], capacity=10, num_gpus=1)
+
+    def test_nonpositive_size_raises(self):
+        with pytest.raises(ValueError):
+            create_balanced_batches([3, 0], capacity=10, num_gpus=1)
+
+    def test_bad_gpu_count_raises(self):
+        with pytest.raises(ValueError):
+            create_balanced_batches([1], capacity=10, num_gpus=0)
+
+    def test_balance_on_uniform_sizes(self, rng):
+        sizes = rng.integers(10, 100, 500)
+        bins = create_balanced_batches(sizes, capacity=512, num_gpus=8)
+        assert_valid_packing(bins, sizes, 512, 8)
+        m = evaluate_bins(bins, sizes)
+        assert m.load_cv < 0.05
+        assert m.straggler_ratio < 1.10
+
+    def test_balance_on_heavy_tailed_sizes(self, rng):
+        """The realistic case: mostly small graphs, a few 768-atom ones."""
+        sizes = np.concatenate(
+            [rng.integers(1, 60, 8000), np.full(400, 768), np.full(200, 500)]
+        )
+        rng.shuffle(sizes)
+        bins = create_balanced_batches(sizes, capacity=3072, num_gpus=16)
+        assert_valid_packing(bins, sizes, 3072, 16)
+        m = evaluate_bins(bins, sizes)
+        assert m.straggler_ratio < 1.10
+        assert m.padding_fraction < 0.08
+
+    def test_deterministic(self, rng):
+        sizes = rng.integers(1, 500, 1000).tolist()
+        a = create_balanced_batches(sizes, 2048, 4)
+        b = create_balanced_batches(sizes, 2048, 4)
+        assert [x.items for x in a] == [x.items for x in b]
+
+    def test_composite_dataset_packing(self):
+        """Algorithm 1 on a real slice of the paper's dataset distribution."""
+        spec = build_spec(0.02, seed=0)
+        bins = create_balanced_batches(spec.n_atoms, 3072, 64)
+        assert_valid_packing(bins, spec.n_atoms, 3072, 64)
+        m = evaluate_bins(bins, spec.n_atoms)
+        assert m.load_cv < 0.02
+        assert m.padding_fraction < 0.02
+
+    def test_capacity_equals_largest_graph(self):
+        """Degenerate case: each 768-atom graph needs its own bin."""
+        sizes = [768, 768, 10, 10]
+        bins = create_balanced_batches(sizes, capacity=768, num_gpus=1)
+        assert_valid_packing(bins, sizes, 768, 1)
+
+    def test_all_identical_sizes(self):
+        bins = create_balanced_batches([100] * 64, capacity=400, num_gpus=8)
+        assert_valid_packing(bins, [100] * 64, 400, 8)
+        fills = {b.used for b in bins}
+        assert len(fills) == 1  # perfectly uniform
+
+    def test_near_optimal_bin_count(self, rng):
+        """Bin count should be close to the volume lower bound."""
+        sizes = rng.integers(1, 400, 3000)
+        capacity, gpus = 2048, 8
+        bins = create_balanced_batches(sizes, capacity, gpus)
+        lower = int(np.ceil(sizes.sum() / capacity))
+        lower = int(np.ceil(lower / gpus)) * gpus
+        assert len(bins) <= lower + 2 * gpus
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 200), min_size=1, max_size=120),
+    capacity=st.integers(200, 1000),
+    gpus=st.integers(1, 8),
+)
+def test_property_packing_invariants(sizes, capacity, gpus):
+    """Hypothesis: every valid input yields a valid packing."""
+    bins = create_balanced_batches(sizes, capacity, gpus)
+    assert_valid_packing(bins, sizes, capacity, gpus)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_large=st.integers(0, 20),
+    n_small=st.integers(150, 400),
+    seed=st.integers(0, 100),
+)
+def test_property_balance_beats_random_chunking(n_large, n_small, seed):
+    """Algorithm 1's straggler ratio never exceeds naive fixed-count's
+    (on heterogeneous inputs it should be dramatically lower)."""
+    rng = np.random.default_rng(seed)
+    sizes = np.concatenate(
+        [np.full(n_large, 768), rng.integers(1, 80, n_small)]
+    ).astype(np.int64)
+    rng.shuffle(sizes)
+    from repro.distribution import fixed_count_batches
+
+    balanced = create_balanced_batches(sizes, 3072, 2)
+    fixed = fixed_count_batches(sizes, 4, rng=rng)
+    mb = evaluate_bins(balanced, sizes)
+    mf = evaluate_bins(fixed, sizes)
+    assert mb.straggler_ratio <= mf.straggler_ratio + 0.15

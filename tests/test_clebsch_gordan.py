@@ -1,0 +1,133 @@
+"""Tests for Clebsch-Gordan coefficients: exact values, selection rules,
+intertwiner (equivariance) property and the sparsity observation (§4.1.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.equivariant import (
+    cg_selection_ok,
+    cg_sparse,
+    cg_sparsity,
+    clebsch_gordan,
+    clebsch_gordan_complex,
+    random_rotation,
+    wigner_D,
+)
+
+VALID_TRIPLES = [(0, 0, 0), (1, 1, 0), (1, 1, 1), (1, 1, 2), (2, 1, 1), (2, 2, 2), (2, 3, 2), (3, 3, 0)]
+
+
+class TestSelectionRules:
+    def test_triangle_rule(self):
+        assert cg_selection_ok(1, 1, 2)
+        assert cg_selection_ok(2, 3, 1)
+        assert not cg_selection_ok(1, 1, 3)
+        assert not cg_selection_ok(0, 0, 1)
+
+    def test_forbidden_blocks_are_zero(self):
+        C = clebsch_gordan(1, 1, 3)
+        assert not C.any()
+
+    def test_complex_m_selection(self):
+        """Complex-basis coefficients vanish unless m1 + m2 = m3."""
+        C = clebsch_gordan_complex(1, 2, 2)
+        for m1 in range(3):
+            for m2 in range(5):
+                for m3 in range(5):
+                    if (m1 - 1) + (m2 - 2) != (m3 - 2):
+                        assert C[m1, m2, m3] == 0.0
+
+
+class TestExactValues:
+    def test_two_spin1_to_scalar(self):
+        """<1 m 1 -m | 0 0> = (-1)^(1-m) / sqrt(3)."""
+        C = clebsch_gordan_complex(1, 1, 0)
+        inv_sqrt3 = 1.0 / math.sqrt(3.0)
+        assert C[2, 0, 0] == pytest.approx(inv_sqrt3)  # m1=+1, m2=-1
+        assert C[1, 1, 0] == pytest.approx(-inv_sqrt3)  # m1=0, m2=0
+        assert C[0, 2, 0] == pytest.approx(inv_sqrt3)  # m1=-1, m2=+1
+
+    def test_stretched_state(self):
+        """<l l l l | 2l 2l> = 1 (highest weight coupling)."""
+        for l in (1, 2, 3):
+            C = clebsch_gordan_complex(l, l, 2 * l)
+            assert C[-1, -1, -1] == pytest.approx(1.0)
+
+    def test_coupling_with_scalar_is_identity(self):
+        """C[0, m, m'] must be proportional to the identity."""
+        C = clebsch_gordan(0, 2, 2)
+        off = C[0] - np.diag(np.diag(C[0]))
+        assert np.abs(off).max() < 1e-12
+        assert np.allclose(np.diag(C[0]), np.diag(C[0])[0])
+
+
+class TestOrthogonality:
+    @pytest.mark.parametrize("l1,l2", [(1, 1), (2, 1), (2, 2)])
+    def test_complex_orthogonality(self, l1, l2):
+        """sum_{m1 m2} C^{l3 m3} C^{l3' m3'} = delta — completeness."""
+        for l3 in range(abs(l1 - l2), l1 + l2 + 1):
+            C = clebsch_gordan_complex(l1, l2, l3)
+            gram = np.einsum("abm,abn->mn", C, C)
+            np.testing.assert_allclose(gram, np.eye(2 * l3 + 1), atol=1e-12)
+
+    @pytest.mark.parametrize("l1,l2,l3", VALID_TRIPLES)
+    def test_real_orthogonality(self, l1, l2, l3):
+        C = clebsch_gordan(l1, l2, l3)
+        gram = np.einsum("abm,abn->mn", C, C)
+        np.testing.assert_allclose(gram, np.eye(2 * l3 + 1), atol=1e-12)
+
+
+class TestIntertwiner:
+    @pytest.mark.parametrize("l1,l2,l3", VALID_TRIPLES)
+    def test_equivariance(self, l1, l2, l3, rng):
+        """C (D1 x D2) = D3-transformed C — the property everything rests on."""
+        R = random_rotation(rng)
+        C = clebsch_gordan(l1, l2, l3)
+        lhs = np.einsum("abc,ai,bj->ijc", C, wigner_D(l1, R), wigner_D(l2, R))
+        rhs = np.einsum("ijk,ck->ijc", C, wigner_D(l3, R))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_coupled_features_transform_correctly(self, rng):
+        """Contract two random degree-l features; result rotates as l3."""
+        l1, l2, l3 = 1, 2, 2
+        x1 = rng.standard_normal(3)
+        x2 = rng.standard_normal(5)
+        C = clebsch_gordan(l1, l2, l3)
+        y = np.einsum("abc,a,b->c", C, x1, x2)
+        R = random_rotation(rng)
+        y_rot = np.einsum(
+            "abc,a,b->c", C, wigner_D(l1, R) @ x1, wigner_D(l2, R) @ x2
+        )
+        np.testing.assert_allclose(y_rot, wigner_D(l3, R) @ y, atol=1e-10)
+
+
+class TestSparsity:
+    @pytest.mark.parametrize("l1,l2,l3", VALID_TRIPLES)
+    def test_sparse_matches_dense(self, l1, l2, l3):
+        sp = cg_sparse(l1, l2, l3)
+        np.testing.assert_array_equal(sp.to_dense(), clebsch_gordan(l1, l2, l3))
+
+    def test_nnz_counts(self):
+        sp = cg_sparse(1, 1, 1)
+        assert sp.nnz == 6  # the antisymmetric (cross-product) coupling
+
+    def test_paper_sparsity_observation(self):
+        """§4.1.1: non-zeros are typically less than 20% of entries."""
+        assert cg_sparsity(3) < 0.20
+
+    def test_sparsity_decreases_with_lmax(self):
+        assert cg_sparsity(4) < cg_sparsity(2)
+
+    def test_density_property(self):
+        sp = cg_sparse(2, 3, 2)
+        assert sp.density == pytest.approx(sp.nnz / (5 * 7 * 5))
+
+    def test_caching_returns_same_object(self):
+        assert cg_sparse(1, 1, 2) is cg_sparse(1, 1, 2)
+
+    def test_dense_block_readonly(self):
+        C = clebsch_gordan(1, 1, 2)
+        with pytest.raises(ValueError):
+            C[0, 0, 0] = 5.0

@@ -1,0 +1,218 @@
+"""Tests for the GPU cost model, workload model, interconnect and DDP sim."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    A100,
+    DRAGONFLY,
+    GPUSpec,
+    InterconnectSpec,
+    KernelWorkload,
+    MACEWorkloadModel,
+    PAPER_MODEL,
+    profile_epoch,
+    simulate_epoch,
+    simulate_epoch_from_bins,
+)
+
+
+class TestGPUSpec:
+    def test_kernel_time_roofline(self):
+        w = KernelWorkload(launches=0, flops=A100.sustained_flops, bytes=0.0)
+        assert A100.kernel_time(w) == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        w = KernelWorkload(launches=0, flops=0.0, bytes=A100.sustained_bandwidth)
+        assert A100.kernel_time(w) == pytest.approx(1.0)
+
+    def test_launch_overhead(self):
+        w = KernelWorkload(launches=1000, flops=0.0, bytes=0.0)
+        assert A100.kernel_time(w) == pytest.approx(1000 * A100.launch_overhead)
+
+    def test_fp64_penalty(self):
+        w = KernelWorkload(flops=A100.sustained_flops, bytes=0.0)
+        assert A100.kernel_time(w, dtype_bytes=8) == pytest.approx(A100.fp64_penalty)
+
+    def test_workload_add_and_scale(self):
+        a = KernelWorkload(1, 10.0, 20.0) + KernelWorkload(2, 5.0, 5.0)
+        assert (a.launches, a.flops, a.bytes) == (3, 15.0, 25.0)
+        s = a.scaled(2.0)
+        assert s.flops == 30.0 and s.launches == 3
+
+    def test_with_overhead(self):
+        g = A100.with_overhead(1e-3)
+        assert g.launch_overhead == 1e-3
+        assert g.sustained_flops == A100.sustained_flops
+
+
+class TestInterconnect:
+    def test_single_rank_free(self):
+        assert DRAGONFLY.allreduce_time(1, 1e9) == 0.0
+
+    def test_monotone_in_bytes(self):
+        t1 = DRAGONFLY.allreduce_time(64, 1e6)
+        t2 = DRAGONFLY.allreduce_time(64, 1e8)
+        assert t2 > t1
+
+    def test_intra_node_faster(self):
+        t_intra = DRAGONFLY.allreduce_time(4, 1e8)
+        t_inter = DRAGONFLY.allreduce_time(8, 1e8)
+        assert t_intra < t_inter
+
+    def test_ring_term_saturates(self):
+        """2(P-1)/P approaches 2: doubling huge P barely changes time."""
+        t1 = DRAGONFLY.allreduce_time(512, 1e8)
+        t2 = DRAGONFLY.allreduce_time(1024, 1e8)
+        assert t2 / t1 < 1.05
+
+
+class TestWorkloadModel:
+    def test_variant_flops_ordering(self):
+        tokens = np.array([3072.0])
+        edges = tokens * 25
+        _, f_base, b_base = PAPER_MODEL.step_workload(tokens, edges, "baseline")
+        _, f_opt, b_opt = PAPER_MODEL.step_workload(tokens, edges, "optimized")
+        assert f_opt[0] < f_base[0]
+        assert b_opt[0] < b_base[0]
+
+    def test_launch_counts(self):
+        tokens = np.array([3072.0])
+        edges = tokens * 25
+        l_base, _, _ = PAPER_MODEL.step_workload(tokens, edges, "baseline")
+        l_opt, _, _ = PAPER_MODEL.step_workload(tokens, edges, "optimized")
+        assert l_opt[0] < l_base[0]
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            PAPER_MODEL.step_workload(np.ones(1), np.ones(1), "magic")
+
+    def test_kernel_speedup_in_paper_range(self):
+        """§5.3: kernel optimization alone gives ~1.7x at saturation."""
+        tokens = np.full(100, 3072.0)
+        edges = tokens * 25
+        t_base = PAPER_MODEL.step_times(A100, tokens, edges, "baseline").sum()
+        t_opt = PAPER_MODEL.step_times(A100, tokens, edges, "optimized").sum()
+        assert 1.5 < t_base / t_opt < 2.0
+
+    def test_sub_saturation_flattening(self):
+        """Figure 11: below the saturation point, time is flat in batch size."""
+        t_small = PAPER_MODEL.step_times(
+            A100, np.array([40.0]), np.array([1000.0 * 40 / 40]), "optimized"
+        )[0]
+        t_half_sat = PAPER_MODEL.step_times(
+            A100, np.array([400.0]), np.array([1000.0 * 400 / 40]), "optimized"
+        )[0]
+        assert t_half_sat < 1.5 * t_small  # flat region
+
+    def test_linear_above_saturation(self):
+        t1 = PAPER_MODEL.step_times(
+            A100, np.array([4000.0]), np.array([4000.0 * 25]), "optimized"
+        )[0]
+        t2 = PAPER_MODEL.step_times(
+            A100, np.array([8000.0]), np.array([8000.0 * 25]), "optimized"
+        )[0]
+        assert t2 / t1 == pytest.approx(2.0, rel=0.15)
+
+    def test_fp64_slower(self):
+        from dataclasses import replace
+
+        m64 = replace(PAPER_MODEL, dtype_bytes=8)
+        tokens, edges = np.array([2000.0]), np.array([50000.0])
+        assert (
+            m64.step_times(A100, tokens, edges, "optimized")[0]
+            > PAPER_MODEL.step_times(A100, tokens, edges, "optimized")[0]
+        )
+
+    def test_memory_model_monotone(self):
+        tokens = np.array([100.0, 1000.0, 4000.0])
+        mem = PAPER_MODEL.memory_per_batch(tokens, tokens * 25)
+        assert np.all(np.diff(mem) > 0)
+
+    def test_parameter_count_scale(self):
+        """~128-channel MACE has O(1M) parameters."""
+        n = PAPER_MODEL.n_parameters()
+        assert 1e5 < n < 1e7
+
+
+class TestDDPSimulator:
+    def _uniform(self, n_bins=64, tokens=3072):
+        t = np.full(n_bins, float(tokens))
+        return t, t * 25.0
+
+    def test_epoch_time_positive(self):
+        t, e = self._uniform()
+        rep = simulate_epoch(t, e, 8)
+        assert rep.epoch_time > 0
+        assert rep.n_steps == 8
+
+    def test_more_gpus_faster(self):
+        t, e = self._uniform(256)
+        t8 = simulate_epoch(t, e, 8).epoch_time
+        t32 = simulate_epoch(t, e, 32).epoch_time
+        assert t32 < t8
+        # With uniform bins, scaling should be near-linear.
+        assert t8 / t32 == pytest.approx(4.0, rel=0.1)
+
+    def test_straggler_dominates(self):
+        """One huge bin per step sets the pace for everyone."""
+        tokens = np.array([8000.0, 100.0, 100.0, 100.0])
+        edges = tokens * 25
+        rep = simulate_epoch(tokens, edges, 4)
+        solo = simulate_epoch(np.array([8000.0]), np.array([8000.0 * 25]), 1)
+        assert rep.epoch_time == pytest.approx(
+            solo.epoch_time, rel=0.2
+        )
+
+    def test_wait_counted_as_communication(self):
+        tokens = np.array([8000.0, 100.0])
+        rep = simulate_epoch(tokens, tokens * 25, 2)
+        # Rank 1 waits for rank 0 -> large communication fraction.
+        assert rep.communication_fraction[1] > 0.5
+        assert rep.computation_fraction[0] > 0.9
+
+    def test_balanced_high_compute_fraction(self):
+        t, e = self._uniform(64)
+        rep = simulate_epoch(t, e, 8)
+        assert rep.computation_fraction.min() > 0.9
+
+    def test_baseline_variant_slower(self):
+        t, e = self._uniform()
+        t_b = simulate_epoch(t, e, 8, variant="baseline").epoch_time
+        t_o = simulate_epoch(t, e, 8, variant="optimized").epoch_time
+        assert t_b > t_o
+
+    def test_empty_bins_raise(self):
+        with pytest.raises(ValueError):
+            simulate_epoch(np.array([]), np.array([]), 4)
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            simulate_epoch(np.ones(4), np.ones(3), 2)
+
+    def test_fractions_sum_to_one(self):
+        tokens = np.array([5000.0, 2000.0, 800.0, 3000.0] * 4)
+        rep = simulate_epoch(tokens, tokens * 25, 4)
+        total = (
+            rep.computation_fraction
+            + rep.overlap_fraction
+            + rep.communication_fraction
+        )
+        np.testing.assert_allclose(total, 1.0, atol=1e-9)
+
+    def test_from_bins_wrapper(self, rng):
+        from repro.distribution import create_balanced_batches
+
+        sizes = rng.integers(10, 500, 200)
+        edges = sizes * 20
+        bins = create_balanced_batches(sizes, 2048, 4)
+        rep = simulate_epoch_from_bins(bins, sizes, edges, 4)
+        assert rep.epoch_time > 0
+
+    def test_profile_epoch_output(self):
+        t, e = self._uniform(16)
+        profiles = profile_epoch(simulate_epoch(t, e, 4))
+        assert len(profiles) == 4
+        for p in profiles:
+            assert 0 <= p.computation_pct <= 100
+            assert "GPU" in str(p)

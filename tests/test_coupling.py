@@ -1,0 +1,116 @@
+"""Tests for generalized CG coupling trees (Algorithm 3's eta patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.equivariant import (
+    coupling_paths,
+    coupling_table,
+    num_coupling_patterns,
+    random_rotation,
+    wigner_D,
+)
+from repro.equivariant.spherical_harmonics import sh_dim
+
+
+def _block_diag_wigner(lmax, R):
+    """Block-diagonal Wigner-D on the flattened SH layout."""
+    dim = sh_dim(lmax)
+    D = np.zeros((dim, dim))
+    for l in range(lmax + 1):
+        D[l * l : (l + 1) ** 2, l * l : (l + 1) ** 2] = wigner_D(l, R)
+    return D
+
+
+class TestPathEnumeration:
+    def test_nu1_identity(self):
+        paths = coupling_paths(2, 1, 1)
+        assert len(paths) == 1
+        assert paths[0].ls == (1,)
+        np.testing.assert_allclose(paths[0].values, 1.0)
+
+    def test_nu1_out_of_range(self):
+        assert coupling_paths(1, 1, 2) == []
+
+    def test_nu2_scalar_paths(self):
+        """nu=2, L=0: only (l, l) pairs couple to a scalar."""
+        paths = coupling_paths(2, 2, 0)
+        assert sorted(p.ls for p in paths) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_parity_filter(self):
+        """With parity on, sum(ls) must match L mod 2."""
+        for p in coupling_paths(2, 3, 1):
+            assert sum(p.ls) % 2 == 1
+
+    def test_parity_off_gives_more_paths(self):
+        with_p = num_coupling_patterns(2, 3, 1, parity=True)
+        without_p = num_coupling_patterns(2, 3, 1, parity=False)
+        assert without_p > with_p
+
+    def test_pattern_counts_grow_with_nu(self):
+        counts = [num_coupling_patterns(2, nu, 0) for nu in (1, 2, 3)]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_deterministic_ordering(self):
+        a = coupling_paths(2, 2, 1)
+        b = coupling_paths(2, 2, 1)
+        assert [p.ls for p in a] == [p.ls for p in b]
+
+    def test_invalid_nu_raises(self):
+        with pytest.raises(ValueError):
+            coupling_paths(2, 0, 0)
+
+
+class TestPathTensors:
+    @pytest.mark.parametrize("nu,L", [(2, 0), (2, 1), (2, 2), (3, 0), (3, 1)])
+    def test_equivariance_of_each_path(self, nu, L, rng):
+        """Contracting nu rotated copies == rotating the contracted output."""
+        lmax = 2
+        R = random_rotation(rng)
+        D_full = _block_diag_wigner(lmax, R)
+        D_out = wigner_D(L, R)
+        x = rng.standard_normal(sh_dim(lmax))
+        x_rot = D_full @ x
+        for path in coupling_paths(lmax, nu, L):
+            y = np.zeros(2 * L + 1)
+            y_rot = np.zeros(2 * L + 1)
+            for idx, v in zip(path.indices, path.values):
+                prod = np.prod([x[idx[f]] for f in range(nu)])
+                prod_rot = np.prod([x_rot[idx[f]] for f in range(nu)])
+                y[idx[nu]] += v * prod
+                y_rot[idx[nu]] += v * prod_rot
+            np.testing.assert_allclose(y_rot, D_out @ y, atol=1e-9)
+
+    def test_nnz_positive(self):
+        for path in coupling_paths(2, 3, 2):
+            assert path.nnz > 0
+
+
+class TestCouplingTable:
+    def test_table_is_cached(self):
+        assert coupling_table(2, 2, 1) is coupling_table(2, 2, 1)
+
+    def test_entries_align_with_paths(self):
+        table = coupling_table(2, 3, 2)
+        for (nu, L), paths in table.paths.items():
+            ent = table.entries[(nu, L)]
+            assert ent["values"].size == sum(p.nnz for p in paths)
+            if paths:
+                assert ent["factor_idx"].shape[1] == nu
+                assert ent["path_idx"].max() == len(paths) - 1
+
+    def test_feature_dim(self):
+        assert coupling_table(3, 2, 1).feature_dim == 16
+
+    def test_num_weights(self):
+        table = coupling_table(2, 2, 1)
+        assert table.num_weights() == sum(
+            table.num_paths(nu, L) for nu in (1, 2) for L in (0, 1)
+        )
+
+    def test_m_indices_within_range(self):
+        table = coupling_table(2, 3, 2)
+        for (nu, L), ent in table.entries.items():
+            if ent["M_idx"].size:
+                assert ent["M_idx"].min() >= 0
+                assert ent["M_idx"].max() <= 2 * L

@@ -1,0 +1,219 @@
+"""Tests for the synthetic datasets: Table 3 composition, generators, labels."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SYSTEM_NAMES,
+    SYSTEMS,
+    ReferencePotential,
+    attach_labels,
+    build_spec,
+    build_training_set,
+    figure5_statistics,
+    generate_structure,
+    sample_sizes,
+    table3,
+)
+from repro.graphs import build_neighbor_list
+
+
+class TestSystemGenerators:
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_size_sampler_respects_range(self, name, rng):
+        lo, hi = SYSTEMS[name].vertex_range
+        sizes = sample_sizes(name, rng, 200)
+        assert sizes.min() >= lo
+        assert sizes.max() <= hi
+
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_generator_produces_valid_graph(self, name, rng):
+        g = generate_structure(name, rng)
+        assert g.n_atoms > 0
+        assert g.system == name
+        assert np.isfinite(g.positions).all()
+        assert g.pbc == SYSTEMS[name].periodic
+
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_generated_graphs_are_connected_enough(self, name, rng):
+        """Every system must produce edges at the paper's cutoff."""
+        g = generate_structure(name, rng)
+        build_neighbor_list(g, cutoff=4.5)
+        assert g.n_edges > 0
+
+    def test_size_request_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            generate_structure("HEA", rng, n_atoms=1000)
+
+    def test_water_cluster_stoichiometry(self, rng):
+        g = generate_structure("Water clusters", rng, n_atoms=30)
+        h = (g.species == 1).sum()
+        o = (g.species == 8).sum()
+        assert h == 2 * o
+
+    def test_liquid_water_is_768_atoms(self, rng):
+        sizes = sample_sizes("Liquid water", rng, 50)
+        assert (sizes == 768).all()
+
+    def test_cuni_only_cu_and_ni(self, rng):
+        g = generate_structure("CuNi", rng, n_atoms=496)
+        assert set(np.unique(g.species)) <= {28, 29}
+
+    def test_atoms_not_overlapping(self, rng):
+        """No two atoms closer than a physical floor (0.5 A)."""
+        for name in ("MPtrj", "Water clusters", "HEA"):
+            g = generate_structure(name, rng)
+            if g.n_atoms < 2:
+                continue
+            d = np.linalg.norm(
+                g.positions[:, None, :] - g.positions[None, :, :], axis=-1
+            )
+            np.fill_diagonal(d, np.inf)
+            assert d.min() > 0.5
+
+
+class TestCompositeSpec:
+    def test_large_matches_table3_counts(self):
+        spec = build_spec("large", seed=0)
+        counts = spec.system_counts()
+        for name in SYSTEM_NAMES:
+            assert counts[name] == SYSTEMS[name].num_graphs
+
+    def test_total_sample_count(self):
+        spec = build_spec("large", seed=0)
+        assert abs(spec.n_samples - 2.65e6) < 0.02e6
+
+    def test_split_proportions_preserved(self):
+        small = build_spec("small", seed=0)
+        large = build_spec("large", seed=0)
+        frac = small.n_samples / large.n_samples
+        assert 0.2 < frac < 0.25  # 0.6M / 2.65M
+        c_small = small.system_counts()
+        c_large = large.system_counts()
+        for name in SYSTEM_NAMES:
+            assert c_small[name] / c_large[name] == pytest.approx(frac, rel=0.05)
+
+    def test_fraction_scale(self):
+        spec = build_spec(0.01, seed=0)
+        assert abs(spec.n_samples - 26508) < 300
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            build_spec(1.5)
+
+    def test_deterministic(self):
+        a = build_spec(0.01, seed=3)
+        b = build_spec(0.01, seed=3)
+        np.testing.assert_array_equal(a.n_atoms, b.n_atoms)
+
+    def test_edges_physical(self):
+        spec = build_spec(0.01, seed=0)
+        assert (spec.n_edges <= spec.n_atoms * (spec.n_atoms - 1)).all()
+        assert (spec.n_edges >= 0).all()
+
+    def test_subset_and_shuffle(self, rng):
+        spec = build_spec(0.01, seed=0)
+        sub = spec.subset(np.arange(100))
+        assert sub.n_samples == 100
+        sh = spec.shuffled(rng)
+        assert sh.n_samples == spec.n_samples
+        assert sh.total_tokens == spec.total_tokens
+
+    def test_table3_rows(self):
+        spec = build_spec("large", seed=0)
+        rows = {r.dataset: r for r in table3(spec)}
+        assert rows["MPtrj"].proportion_label() == "60%"
+        assert rows["Al-HCl(aq)"].proportion_label() == "<1%"
+        assert rows["Liquid water"].vertices_min == 768
+        assert rows["Liquid water"].vertices_max == 768
+
+
+class TestTrainingSet:
+    def test_build_training_set(self):
+        graphs = build_training_set(5, seed=0, max_atoms=40)
+        assert len(graphs) == 5
+        assert all(g.has_edges for g in graphs)
+        assert all(g.n_atoms <= 48 for g in graphs)  # HEA min is 36-48
+
+    def test_infeasible_system_raises(self):
+        with pytest.raises(ValueError):
+            build_training_set(2, systems=["Liquid water"], max_atoms=100)
+
+
+class TestReferencePotential:
+    def test_deterministic(self, small_graphs):
+        pot_a = ReferencePotential()
+        pot_b = ReferencePotential()
+        g = small_graphs[0]
+        assert pot_a.energy(g) == pot_b.energy(g)
+
+    def test_rotation_invariant(self, small_graphs, rng):
+        from repro.equivariant import random_rotation
+
+        pot = ReferencePotential()
+        g = small_graphs[0]
+        e0 = pot.energy(g)
+        g2 = g.rotated(random_rotation(rng))
+        build_neighbor_list(g2)
+        assert pot.energy(g2) == pytest.approx(e0, abs=1e-8)
+
+    def test_size_extensive_for_disjoint_systems(self, rng):
+        """Two far-apart copies have twice the energy of one."""
+        g1 = generate_structure("Water clusters", rng, n_atoms=9)
+        build_neighbor_list(g1)
+        pot = ReferencePotential()
+        e1 = pot.energy(g1)
+        from repro.graphs import MolecularGraph
+
+        far = np.concatenate([g1.positions, g1.positions + 100.0])
+        g2 = MolecularGraph(far, np.tile(g1.species, 2))
+        build_neighbor_list(g2)
+        assert pot.energy(g2) == pytest.approx(2 * e1, rel=1e-9)
+
+    def test_requires_neighbor_list(self):
+        from repro.graphs import MolecularGraph
+
+        pot = ReferencePotential()
+        with pytest.raises(ValueError):
+            pot.energy(MolecularGraph(np.zeros((1, 3)), np.array([1])))
+
+    def test_attach_labels(self, rng):
+        graphs = build_training_set(3, seed=1, max_atoms=40)
+        labeled = attach_labels(graphs)
+        assert all(g.energy is not None for g in labeled)
+
+
+class TestFigure5Statistics:
+    def test_statistics_cover_all_systems(self):
+        stats = figure5_statistics(samples_per_system=3, seed=0)
+        assert set(stats) == set(SYSTEM_NAMES)
+
+    def test_sparsity_in_unit_interval(self):
+        stats = figure5_statistics(samples_per_system=3, seed=1)
+        for h in stats.values():
+            assert (h.sparsities >= 0).all()
+            assert (h.sparsities <= 1).all()
+
+    def test_histograms_counts_sum(self):
+        stats = figure5_statistics(
+            samples_per_system=5, seed=2, systems=["Water clusters"]
+        )
+        h = stats["Water clusters"]
+        counts, _ = h.vertex_histogram(bins=10)
+        assert counts.sum() == 5
+        ecounts, _ = h.edge_histogram(bins=10)
+        assert ecounts.sum() == 5
+
+    def test_liquid_water_denser_than_clusters(self):
+        """Periodic bulk water has more neighbors than open clusters."""
+        stats = figure5_statistics(
+            samples_per_system=3, seed=3, systems=["Liquid water", "Water clusters"]
+        )
+        deg_bulk = (
+            stats["Liquid water"].edge_counts / stats["Liquid water"].vertex_counts
+        ).mean()
+        deg_cluster = (
+            stats["Water clusters"].edge_counts
+            / stats["Water clusters"].vertex_counts
+        ).mean()
+        assert deg_bulk > deg_cluster

@@ -1,0 +1,197 @@
+"""Edge-case and cross-cutting tests: engine corner cases, experiment
+helpers, workload-model internals, and failure paths."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.cluster import A100, PAPER_MODEL
+from repro.data import build_spec
+from repro.experiments.common import (
+    balanced_workloads,
+    fixed_count_workloads,
+    format_table,
+    simulate,
+)
+
+
+class TestEngineEdgeCases:
+    def test_scalar_tensor_arithmetic(self):
+        t = Tensor(np.array(3.0), requires_grad=True)
+        (t * t).backward()
+        assert t.grad == pytest.approx(6.0)
+
+    def test_zero_size_tensor(self):
+        t = Tensor(np.zeros((0, 3)))
+        assert (t * 2.0).shape == (0, 3)
+
+    def test_gradient_shape_mismatch_raises(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t * 2.0
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_backward_through_detach_stops(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = (a * 3.0).detach()
+        (b * 2.0).sum().backward()
+        assert a.grad is None
+
+    def test_no_grad_nested(self):
+        from repro.autograd import is_grad_enabled
+
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_mixed_requires_grad_inputs(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.full(3, 2.0))  # constant
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0)
+        assert b.grad is None
+
+    def test_rsub_rtruediv(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (3.0 - a).sum().backward()
+        assert a.grad[0] == pytest.approx(-1.0)
+        a.zero_grad()
+        (4.0 / a).sum().backward()
+        assert a.grad[0] == pytest.approx(-1.0)
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array(["a", "b"]))
+
+    def test_long_chain_no_recursion_blowup(self):
+        """Iterative topo-sort handles thousands-deep graphs."""
+        t = Tensor(np.ones(1), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 0.0
+        out.sum().backward()
+        assert t.grad[0] == pytest.approx(1.0)
+
+
+class TestWorkloadModelInternals:
+    def test_workload_scales_linearly_with_layers(self):
+        from dataclasses import replace
+
+        tokens, edges = np.array([3000.0]), np.array([75000.0])
+        one = replace(PAPER_MODEL, n_layers=1)
+        two = replace(PAPER_MODEL, n_layers=2)
+        _, f1, _ = one.step_workload(tokens, edges, "optimized")
+        _, f2, _ = two.step_workload(tokens, edges, "optimized")
+        assert f2[0] == pytest.approx(2.0 * f1[0], rel=1e-9)
+
+    def test_channels_scale_quadratic_linears(self):
+        from dataclasses import replace
+
+        tokens, edges = np.array([3000.0]), np.array([0.0])
+        small = replace(PAPER_MODEL, channels=64)
+        big = replace(PAPER_MODEL, channels=128)
+        _, f_s, _ = small.step_workload(tokens, edges, "optimized")
+        _, f_b, _ = big.step_workload(tokens, edges, "optimized")
+        # Atom-side work has K^2 (linears) and K (contractions): 2x channels
+        # must give between 2x and 4x FLOPs.
+        assert 2.0 < f_b[0] / f_s[0] < 4.0
+
+    def test_gradient_bytes_positive(self):
+        assert PAPER_MODEL.gradient_bytes() > 1e6  # MB-scale gradients
+
+    def test_vectorized_matches_scalar(self):
+        tokens = np.array([500.0, 3000.0, 9000.0])
+        edges = tokens * 25
+        batch_times = PAPER_MODEL.step_times(A100, tokens, edges, "optimized")
+        for i in range(3):
+            solo = PAPER_MODEL.step_times(
+                A100, tokens[i : i + 1], edges[i : i + 1], "optimized"
+            )[0]
+            assert batch_times[i] == pytest.approx(solo)
+
+    def test_baseline_eff_parameter_monotone(self):
+        from dataclasses import replace
+
+        tokens, edges = np.array([3000.0]), np.array([75000.0])
+        lo = replace(PAPER_MODEL, baseline_dense_efficiency=0.2)
+        hi = replace(PAPER_MODEL, baseline_dense_efficiency=0.8)
+        t_lo = lo.step_times(A100, tokens, edges, "baseline")[0]
+        t_hi = hi.step_times(A100, tokens, edges, "baseline")[0]
+        assert t_hi > t_lo
+
+
+class TestExperimentsCommon:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return build_spec(0.002, seed=0)
+
+    def test_fixed_count_workloads_shape(self, spec):
+        work = fixed_count_workloads(spec, graphs_per_batch=7)
+        assert work.n_bins == spec.n_samples // 7
+        assert work.tokens.shape == work.edges.shape
+
+    def test_fixed_count_conserves_most_tokens(self, spec):
+        work = fixed_count_workloads(spec, graphs_per_batch=7)
+        # Only the remainder (< 7 samples) may be dropped.
+        dropped = spec.total_tokens - work.tokens.sum()
+        assert dropped < 7 * spec.n_atoms.max()
+
+    def test_balanced_workloads_conserve_tokens(self, spec):
+        work = balanced_workloads(spec, 4)
+        assert int(work.tokens.sum()) == spec.total_tokens
+        assert int(work.edges.sum()) == int(spec.n_edges.sum())
+
+    def test_simulate_smoke(self, spec):
+        work = balanced_workloads(spec, 4)
+        rep = simulate(work, 4, "optimized")
+        assert rep.epoch_time > 0
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbb"], [(1, 22), (333, 4)])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+        assert "---" in lines[1]
+
+
+class TestSimulatorConsistency:
+    def test_epoch_time_additive_in_bins(self):
+        """Concatenating two epochs' bins sums their times (no coupling)."""
+        from repro.cluster import simulate_epoch
+
+        t1 = np.full(16, 3000.0)
+        t2 = np.full(32, 1500.0)
+        e1, e2 = t1 * 25, t2 * 25
+        a = simulate_epoch(t1, e1, 8).epoch_time
+        b = simulate_epoch(t2, e2, 8).epoch_time
+        ab = simulate_epoch(
+            np.concatenate([t1, t2]), np.concatenate([e1, e2]), 8
+        ).epoch_time
+        assert ab == pytest.approx(a + b, rel=1e-6)
+
+    def test_kernel_instrumentation_matches_cost_model_direction(self, rng):
+        """The live kernel counters and the analytic model must agree on
+        *which* variant does more work (they are built from the same
+        tables)."""
+        from repro.autograd import Tensor
+        from repro.kernels import (
+            channelwise_tp_baseline,
+            channelwise_tp_optimized,
+            channelwise_tp_table,
+            counting,
+        )
+
+        table = channelwise_tp_table(3, 1, 2)
+        Y = Tensor(rng.standard_normal((50, 16)))
+        h = Tensor(rng.standard_normal((50, 3, 4)))
+        R = Tensor(rng.standard_normal((50, 3, table.num_paths)))
+        with counting() as kb:
+            channelwise_tp_baseline(Y, h, R, table)
+        with counting() as ko:
+            channelwise_tp_optimized(Y, h, R, table)
+        tokens, edges = np.array([50.0]), np.array([50.0])
+        _, f_base, _ = PAPER_MODEL.step_workload(tokens, edges, "baseline")
+        _, f_opt, _ = PAPER_MODEL.step_workload(tokens, edges, "optimized")
+        assert (kb.flops > ko.flops) == (f_base[0] > f_opt[0])
+        assert kb.launches > ko.launches

@@ -1,0 +1,224 @@
+"""Integration tests for the experiment harnesses: each figure/table module
+runs end-to-end and its results land in the paper's reported regimes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure5,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    table3,
+)
+
+
+class TestTable3:
+    def test_rows_match_paper(self):
+        rows = {r.dataset: r for r in table3.run("large")}
+        assert len(rows) == 8
+        for name, (count, _, vrange) in table3.PAPER_TABLE3.items():
+            assert rows[name].num_graphs == count
+            assert rows[name].vertices_min >= vrange[0]
+            assert rows[name].vertices_max <= vrange[1]
+
+    def test_report_renders(self):
+        out = table3.report(table3.run("small"))
+        assert "MPtrj" in out and "60%" in out
+
+
+class TestFigure5:
+    def test_runs_and_reports(self):
+        stats = figure5.run(samples_per_system=3, seed=0)
+        out = figure5.report(stats)
+        assert "Liquid water" in out
+        for h in stats.values():
+            assert h.vertex_counts.size == 3
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure6.run()
+
+    def test_all_splits_present(self, rows):
+        assert [r.dataset for r in rows] == ["small", "medium", "large"]
+
+    def test_speedup_shapes_match_paper(self, rows):
+        """Load-balancer speedup grows with dataset/GPU scale; kernel
+        speedup is roughly constant ~1.7x (Figure 6)."""
+        lb = [r.load_balancer_speedup for r in rows]
+        k = [r.kernel_speedup for r in rows]
+        assert lb[0] < lb[1] < lb[2]  # grows with scale
+        assert lb[2] == pytest.approx(3.33, rel=0.25)  # paper: 3.33 on large
+        for v in k:
+            assert v == pytest.approx(1.7, rel=0.15)  # paper: 1.67-1.77
+
+    def test_combined_beats_either(self, rows):
+        for r in rows:
+            assert r.combined_speedup > r.load_balancer_speedup
+            assert r.combined_speedup > r.kernel_speedup
+
+    def test_report_renders(self, rows):
+        assert "paper" in figure6.report(rows)
+
+
+class TestFigure7And8:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return figure7.run(gpu_counts=(16, 64, 256, 740))
+
+    def test_all_configs_all_scales(self, points):
+        assert len(points) == 4 * 4
+
+    def test_times_decrease_with_gpus(self, points):
+        for name, _, _ in figure7.CONFIGS:
+            series = [p.epoch_minutes for p in points if p.config == name]
+            assert all(a > b for a, b in zip(series, series[1:]))
+
+    def test_headline_740_gpus(self, points):
+        """§1/§7 headline: 12 -> 2 minutes per epoch at 740 GPUs."""
+        at740 = {p.config: p for p in points if p.num_gpus == 740}
+        base = at740["MACE"].epoch_minutes
+        opt = at740["MACE + load balancer + kernel optimization"].epoch_minutes
+        assert base == pytest.approx(12.0, rel=0.35)
+        assert opt == pytest.approx(2.0, rel=0.35)
+        assert 5.0 < base / opt < 8.5  # "roughly 6x speedup"
+
+    def test_64_gpu_conclusion_numbers(self, points):
+        """§7: 100 -> 18 minutes at 64 GPUs."""
+        at64 = {p.config: p for p in points if p.num_gpus == 64}
+        base = at64["MACE"].epoch_minutes
+        opt = at64["MACE + load balancer + kernel optimization"].epoch_minutes
+        assert base == pytest.approx(100.0, rel=0.35)
+        assert opt == pytest.approx(18.0, rel=0.35)
+
+    def test_ordering_of_configurations(self, points):
+        """At every scale: both < each single optimization < baseline."""
+        for gpus in (16, 64, 256, 740):
+            at = {p.config: p.epoch_minutes for p in points if p.num_gpus == gpus}
+            both = at["MACE + load balancer + kernel optimization"]
+            assert both < at["MACE + load balancer"] < at["MACE"]
+            assert both < at["MACE + kernel optimization"] < at["MACE"]
+
+    def test_strong_scaling_efficiency(self, points):
+        """Paper: 86.5% from 16 to 740 GPUs for the optimized config."""
+        eff = figure7.strong_scaling_efficiency(points)
+        assert 75.0 < eff < 105.0
+
+    def test_report_renders(self, points):
+        out = figure7.report(points)
+        assert "Speedup" in out and "86.5%" in out
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return figure9.run(n_samples=8, n_epochs=5, channels=4)
+
+    def test_variants_identical(self, curves):
+        assert curves.max_divergence < 1e-9
+
+    def test_loss_decreases(self, curves):
+        assert curves.optimized[-1] < curves.optimized[0]
+
+    def test_report_renders(self, curves):
+        assert "divergence" in figure9.report(curves)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return figure10.run()
+
+    def test_grid_complete(self, points):
+        assert len(points) == 4 * 3
+
+    def test_optimized_flattest(self, points):
+        """Weak-scaling efficiency closest to 1 for the full optimization."""
+        effs = {
+            name: figure10.weak_scaling_efficiency(points, name)
+            for name, _, _ in figure10.CONFIGS
+        }
+        best = "MACE + load balancer + kernel optimization"
+        for name, e in effs.items():
+            if name != best:
+                assert abs(1 - effs[best]) <= abs(1 - e) + 0.05
+
+    def test_report_renders(self, points):
+        assert "Weak scaling" in figure10.report(points)
+
+
+class TestFigure11:
+    def test_small_clusters_flat_then_grow(self):
+        points = figure11.run(dtype_bytes=8)
+        small = [p.time_seconds for p in points if p.cluster == "small"]
+        # batch 1 (40 tokens) to batch 10 (400 tokens = saturation): flat
+        assert small[2] < 1.6 * small[0]
+        # batch 50 (2000 tokens): clearly past saturation
+        assert small[3] > 3.0 * small[0]
+
+    def test_big_clusters_linear(self):
+        points = figure11.run(dtype_bytes=8)
+        big = {p.batch_size: p.time_seconds for p in points if p.cluster == "big"}
+        assert big[10] / big[5] == pytest.approx(2.0, rel=0.2)
+        assert big[50] / big[10] == pytest.approx(5.0, rel=0.2)
+
+    def test_memory_ceiling_ordering(self):
+        """fp64 ceiling must be about half the fp32 ceiling (§5.5)."""
+        c64 = figure11.memory_ceiling_tokens(8)
+        c32 = figure11.memory_ceiling_tokens(4)
+        assert c32 == pytest.approx(2 * c64, rel=0.2)
+        assert 1000 < c64 < 4000
+
+    def test_report_renders(self):
+        assert "saturation" in figure11.report(figure11.run())
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def snap(self):
+        return figure12.run()
+
+    def test_balanced_near_uniform(self, snap):
+        assert snap.balanced_straggler < 1.01
+
+    def test_fixed_badly_imbalanced(self, snap):
+        assert snap.fixed_straggler > 1.3
+
+    def test_balanced_fits_more_graphs(self, snap):
+        """Figure 12's observation: the balanced step packs more graphs."""
+        assert snap.balanced_graphs.sum() > snap.fixed_graphs.sum()
+
+    def test_report_renders(self, snap):
+        assert "straggler" in figure12.report(snap)
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return figure13.run(scale=0.005)
+
+    def test_optimized_compute_dominated(self, pair):
+        """Paper: 92-95% computation for the optimized configuration."""
+        for p in pair.optimized:
+            assert p.computation_pct > 90.0
+            assert p.communication_pct < 8.0
+
+    def test_baseline_communication_heavy(self, pair):
+        """Paper: baseline spends 30-70% in computation only."""
+        for p in pair.baseline:
+            assert p.computation_pct < 80.0
+            assert p.communication_pct > 20.0
+
+    def test_percentages_sum(self, pair):
+        for p in pair.baseline + pair.optimized:
+            total = p.computation_pct + p.overlap_pct + p.communication_pct
+            assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_report_renders(self, pair):
+        assert "optimized" in figure13.report(pair)

@@ -1,0 +1,146 @@
+"""Tests for O(3) irreps bookkeeping."""
+
+import pytest
+
+from repro.equivariant import Irrep, Irreps, tensor_product_irreps
+
+
+class TestIrrep:
+    def test_parse_even(self):
+        ir = Irrep.parse("2e")
+        assert ir.l == 2 and ir.p == 1
+
+    def test_parse_odd(self):
+        ir = Irrep.parse("1o")
+        assert ir.l == 1 and ir.p == -1
+
+    def test_parse_tuple(self):
+        assert Irrep.parse((3, -1)) == Irrep(3, -1)
+
+    def test_parse_passthrough(self):
+        ir = Irrep(2, 1)
+        assert Irrep.parse(ir) is ir
+
+    def test_dim(self):
+        assert [Irrep.parse(f"{l}e").dim for l in range(4)] == [1, 3, 5, 7]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            Irrep(-1, 1)
+
+    def test_invalid_parity(self):
+        with pytest.raises(ValueError):
+            Irrep(1, 0)
+
+    def test_invalid_string(self):
+        with pytest.raises(ValueError):
+            Irrep.parse("abc")
+
+    def test_str_roundtrip(self):
+        for s in ("0e", "1o", "2e", "3o"):
+            assert str(Irrep.parse(s)) == s
+
+    def test_is_scalar(self):
+        assert Irrep.parse("0e").is_scalar()
+        assert not Irrep.parse("0o").is_scalar()
+        assert not Irrep.parse("1e").is_scalar()
+
+    def test_product_selection_rule(self):
+        out = list(Irrep.parse("1o") * Irrep.parse("2o"))
+        assert [ir.l for ir in out] == [1, 2, 3]
+        assert all(ir.p == 1 for ir in out)
+
+    def test_product_with_scalar(self):
+        out = list(Irrep.parse("0e") * Irrep.parse("2e"))
+        assert out == [Irrep(2, 1)]
+
+    def test_ordering(self):
+        assert Irrep(0, 1) < Irrep(1, -1) < Irrep(2, -1)
+
+
+class TestIrreps:
+    def test_parse_paper_spec(self):
+        """The paper's message irreps: 128x0e + 128x1o (§5.2)."""
+        irreps = Irreps("128x0e + 128x1o")
+        assert irreps.dim == 128 * 1 + 128 * 3
+        assert irreps.num_irreps == 256
+        assert irreps.lmax == 1
+
+    def test_parse_without_multiplicity(self):
+        irreps = Irreps("0e + 1o")
+        assert irreps.dim == 4
+
+    def test_parse_idempotent(self):
+        a = Irreps("4x1e")
+        assert Irreps(a) is a
+
+    def test_parse_from_tuples(self):
+        irreps = Irreps([(2, "0e"), (3, "1o")])
+        assert irreps.dim == 2 + 9
+
+    def test_slices(self):
+        irreps = Irreps("2x0e + 1x2e")
+        assert irreps.slices() == [slice(0, 2), slice(2, 7)]
+
+    def test_count(self):
+        irreps = Irreps("2x0e + 3x1o + 4x0e")
+        assert irreps.count("0e") == 6
+        assert irreps.count("1o") == 3
+        assert irreps.count("2e") == 0
+
+    def test_add(self):
+        combined = Irreps("2x0e") + Irreps("1x1o")
+        assert combined.dim == 5
+
+    def test_mul(self):
+        assert (Irreps("1x1o") * 3).num_irreps == 3
+
+    def test_simplify_merges_adjacent(self):
+        s = Irreps("2x0e + 3x0e + 1x1o").simplify()
+        assert len(s) == 2
+        assert s.count("0e") == 5
+
+    def test_simplify_drops_zero(self):
+        s = Irreps("0x0e + 2x1o").simplify()
+        assert len(s) == 1
+
+    def test_sort(self):
+        s = Irreps("1x2e + 1x0e + 1x1o").sort()
+        assert [mi.ir.l for mi in s] == [0, 1, 2]
+
+    def test_filter(self):
+        f = Irreps("1x0e + 1x1o + 1x2e + 1x3o").filter(lmax=1)
+        assert f.lmax == 1
+
+    def test_ls(self):
+        assert Irreps("2x0e + 1x1o").ls == [0, 0, 1]
+
+    def test_spherical_harmonics_parity(self):
+        sh = Irreps.spherical_harmonics(3)
+        assert [mi.ir.p for mi in sh] == [1, -1, 1, -1]
+        assert sh.dim == 16
+
+    def test_empty_lmax_raises(self):
+        with pytest.raises(ValueError):
+            Irreps("").lmax
+
+    def test_bad_chunk_raises(self):
+        with pytest.raises(ValueError):
+            Irreps("3z")
+
+
+class TestTensorProductIrreps:
+    def test_vector_vector(self):
+        out = tensor_product_irreps("1x1o", "1x1o")
+        # 1o x 1o = 0e + 1e + 2e
+        assert out.count("0e") == 1
+        assert out.count("1e") == 1
+        assert out.count("2e") == 1
+
+    def test_lmax_truncation(self):
+        out = tensor_product_irreps("1x2e", "1x2e", lmax=1)
+        assert out.lmax <= 1
+
+    def test_multiplicities_multiply(self):
+        out = tensor_product_irreps("2x0e", "3x1o")
+        assert out.count("1o") == 6

@@ -1,0 +1,163 @@
+"""Tests for the MD integrator, calculators and FIRE optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_structure
+from repro.graphs import build_neighbor_list
+from repro.mace import MACE, MACEConfig
+from repro.md import (
+    ATOMIC_MASSES,
+    MACECalculator,
+    ReferenceCalculator,
+    VelocityVerlet,
+    fire_relax,
+    temperature,
+)
+
+CFG = MACEConfig(num_channels=4, lmax_sh=2, l_atomic_basis=2, correlation=2)
+
+
+@pytest.fixture
+def water9(rng):
+    g = generate_structure("Water clusters", rng, n_atoms=9)
+    build_neighbor_list(g)
+    return g
+
+
+class TestCalculators:
+    def test_mace_calculator_consistency(self, water9):
+        """Calculator forces equal the model's autograd forces."""
+        model = MACE(CFG, seed=0)
+        calc = MACECalculator(model)
+        e, f = calc.energy_and_forces(water9)
+        from repro.graphs import collate
+
+        np.testing.assert_allclose(f, model.forces(collate([water9])))
+        assert e == pytest.approx(float(model.predict_energy(collate([water9]))[0]))
+
+    def test_reference_calculator_forces_point_downhill(self, water9):
+        calc = ReferenceCalculator()
+        e0, f = calc.energy_and_forces(water9)
+        # Step along the forces: energy must decrease (gradient descent).
+        step = 0.01 * f / max(np.abs(f).max(), 1e-9)
+        moved = generate_structure("Water clusters", np.random.default_rng(0), 9)
+        moved.positions[...] = water9.positions + step
+        moved.species[...] = water9.species
+        build_neighbor_list(moved)
+        e1 = calc.potential.energy(moved)
+        assert e1 < e0
+
+    def test_requires_neighbor_list(self, rng):
+        g = generate_structure("Water clusters", rng, n_atoms=9)
+        with pytest.raises(ValueError):
+            MACECalculator(MACE(CFG, seed=0)).energy_and_forces(g)
+        with pytest.raises(ValueError):
+            ReferenceCalculator().energy_and_forces(g)
+
+
+class TestVelocityVerlet:
+    def test_nve_energy_conservation(self, water9):
+        """Total energy drift stays small over an NVE run."""
+        md = VelocityVerlet(
+            ReferenceCalculator(), water9, timestep_fs=0.2, rebuild_every=2, seed=1
+        )
+        md.initialize_velocities(100.0)
+        traj = md.run(25)
+        e0 = abs(traj.total_energy[0])
+        assert traj.energy_drift() < 0.01 * max(e0, 1.0)
+
+    def test_smaller_timestep_conserves_better(self, rng):
+        drifts = []
+        for dt in (0.4, 0.1):
+            g = generate_structure("Water clusters", rng, n_atoms=9)
+            build_neighbor_list(g)
+            md = VelocityVerlet(
+                ReferenceCalculator(), g, timestep_fs=dt, rebuild_every=100, seed=2
+            )
+            md.initialize_velocities(100.0)
+            drifts.append(md.run(20).energy_drift())
+        assert drifts[1] < drifts[0]
+
+    def test_velocity_initialization_temperature(self, water9):
+        md = VelocityVerlet(ReferenceCalculator(), water9, seed=3)
+        md.initialize_velocities(300.0)
+        T = temperature(md.state.velocities, md.masses)
+        assert 50.0 < T < 900.0  # chi^2 spread is wide for 9 atoms
+
+    def test_com_momentum_zero(self, water9):
+        md = VelocityVerlet(ReferenceCalculator(), water9, seed=3)
+        md.initialize_velocities(300.0)
+        p = (md.masses[:, None] * md.state.velocities).sum(axis=0)
+        np.testing.assert_allclose(p, 0.0, atol=1e-12)
+
+    def test_thermostat_regulates(self, water9):
+        """Langevin dynamics pulls the temperature toward the set-point."""
+        md = VelocityVerlet(
+            ReferenceCalculator(),
+            water9,
+            timestep_fs=0.5,
+            friction=0.2,
+            target_temperature=400.0,
+            seed=4,
+        )
+        traj = md.run(60)  # starts at 0 K
+        assert np.mean(traj.temperatures[-15:]) > 50.0
+
+    def test_md_with_mace_calculator(self, water9):
+        model = MACE(CFG, seed=0)
+        md = VelocityVerlet(MACECalculator(model), water9, timestep_fs=0.5, seed=5)
+        md.initialize_velocities(200.0)
+        traj = md.run(5)
+        assert len(traj.potential) == 5
+        assert np.isfinite(traj.total_energy).all()
+
+    def test_invalid_parameters(self, water9):
+        with pytest.raises(ValueError):
+            VelocityVerlet(ReferenceCalculator(), water9, timestep_fs=0.0)
+        with pytest.raises(ValueError):
+            VelocityVerlet(ReferenceCalculator(), water9, friction=-1.0)
+
+    def test_unknown_mass_raises(self):
+        from repro.graphs import MolecularGraph
+
+        g = MolecularGraph(np.zeros((1, 3)), np.array([99]))
+        g.edge_index = np.zeros((2, 0), dtype=np.int64)
+        g.edge_shift = np.zeros((0, 3))
+        with pytest.raises(KeyError):
+            VelocityVerlet(ReferenceCalculator(), g)
+
+    def test_trajectory_recording_stride(self, water9):
+        md = VelocityVerlet(ReferenceCalculator(), water9, seed=6)
+        traj = md.run(10, record_every=2)
+        assert len(traj.potential) == 5
+
+
+class TestFIRE:
+    def test_relaxation_lowers_energy(self, rng):
+        g = generate_structure("Water clusters", rng, n_atoms=12)
+        res = fire_relax(ReferenceCalculator(), g, fmax=0.5, max_steps=60)
+        assert res.final_energy < res.energies[0]
+
+    def test_convergence_flag(self, rng):
+        g = generate_structure("Water clusters", rng, n_atoms=9)
+        res = fire_relax(ReferenceCalculator(), g, fmax=0.4, max_steps=100)
+        if res.converged:
+            assert res.max_force < 0.4
+        else:
+            assert res.n_steps == 100
+
+    def test_already_relaxed_is_noop(self, rng):
+        """Second relaxation from a converged structure ends immediately."""
+        g = generate_structure("Water clusters", rng, n_atoms=9)
+        first = fire_relax(ReferenceCalculator(), g, fmax=0.5, max_steps=150)
+        if not first.converged:
+            pytest.skip("first relaxation did not converge in budget")
+        second = fire_relax(ReferenceCalculator(), g, fmax=0.5, max_steps=150)
+        assert second.n_steps <= 8
+
+    def test_masses_table_covers_species(self):
+        from repro.graphs import ATOMIC_NUMBERS
+
+        for z in ATOMIC_NUMBERS.values():
+            assert z in ATOMIC_MASSES

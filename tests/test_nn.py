@@ -1,0 +1,272 @@
+"""Tests for Module/Parameter plumbing, layers, optimizers, EMA and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.equivariant import random_rotation, wigner_D
+from repro.equivariant.spherical_harmonics import sh_block_slice, sh_dim
+from repro.nn import (
+    MLP,
+    Adam,
+    Embedding,
+    EquivariantLinear,
+    ExponentialLR,
+    ExponentialMovingAverage,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    SGD,
+)
+
+
+class TestModule:
+    def _model(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = Linear(3, 4, rng=np.random.default_rng(0))
+                self.fc2 = Linear(4, 1, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.fc2(self.fc1(x))
+
+        return Net()
+
+    def test_named_parameters_depth_first(self):
+        net = self._model()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        net = self._model()
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 1 + 1
+
+    def test_state_dict_roundtrip(self):
+        net = self._model()
+        state = net.state_dict()
+        net.fc1.weight.data[:] = 0.0
+        net.load_state_dict(state)
+        assert net.fc1.weight.data.any()
+
+    def test_load_state_dict_missing_key(self):
+        net = self._model()
+        state = net.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self):
+        net = self._model()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad(self):
+        net = self._model()
+        out = net(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml[0].parameters())) == 2
+        names = [n for n, _ in ml.named_parameters()]
+        assert names[0].startswith("0.")
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(3, 5, rng=rng)
+        out = layer(Tensor(rng.standard_normal((7, 3))))
+        assert out.shape == (7, 5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 5, bias=False, rng=rng)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 3))))
+        np.testing.assert_allclose(out.numpy(), 0.0)
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)))
+        check_gradients(
+            lambda w, b: ((x @ w + b) ** 2.0).sum(), [layer.weight, layer.bias]
+        )
+
+
+class TestEquivariantLinear:
+    def test_shape(self, rng):
+        layer = EquivariantLinear(4, 6, lmax=2, rng=rng)
+        x = Tensor(rng.standard_normal((5, 4, 9)))
+        assert layer(x).shape == (5, 6, 9)
+
+    def test_wrong_dim_raises(self, rng):
+        layer = EquivariantLinear(4, 6, lmax=2, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((5, 4, 4))))
+
+    def test_equivariance(self, rng):
+        """Channel mixing commutes with Wigner-D rotations per degree."""
+        lmax = 2
+        layer = EquivariantLinear(3, 3, lmax=lmax, rng=rng)
+        x = rng.standard_normal((2, 3, sh_dim(lmax)))
+        R = random_rotation(rng)
+        x_rot = x.copy()
+        for l in range(lmax + 1):
+            sl = sh_block_slice(l)
+            x_rot[..., sl] = x[..., sl] @ wigner_D(l, R).T
+        out = layer(Tensor(x)).numpy()
+        out_rot = layer(Tensor(x_rot)).numpy()
+        for l in range(lmax + 1):
+            sl = sh_block_slice(l)
+            np.testing.assert_allclose(
+                out_rot[..., sl], out[..., sl] @ wigner_D(l, R).T, atol=1e-10
+            )
+
+    def test_gradients(self, rng):
+        layer = EquivariantLinear(2, 2, lmax=1, rng=rng)
+        x = Tensor(rng.standard_normal((3, 2, 4)))
+        ws = [layer.weight_l0, layer.weight_l1]
+
+        def fn(x, w0, w1):
+            return (layer(x) ** 2.0).sum()
+
+        check_gradients(fn, [x, *ws])
+
+
+class TestMLPEmbedding:
+    def test_mlp_shapes(self, rng):
+        mlp = MLP([3, 8, 8, 1], rng=rng)
+        out = mlp(Tensor(rng.standard_normal((5, 3))))
+        assert out.shape == (5, 1)
+
+    def test_mlp_too_short(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mlp_gradcheck(self, rng):
+        mlp = MLP([2, 4, 1], rng=rng)
+        x = Tensor(rng.standard_normal((3, 2)))
+        params = list(mlp.parameters())
+        check_gradients(lambda *ps: (mlp(x) ** 2.0).sum(), params)
+
+    def test_embedding_lookup(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        out = emb(np.array([0, 4, 0]))
+        np.testing.assert_array_equal(out.numpy()[0], out.numpy()[2])
+
+    def test_embedding_out_of_range(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+    def test_embedding_gradient_accumulates_duplicates(self, rng):
+        emb = Embedding(3, 2, rng=rng)
+        out = emb(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], 3.0)
+        np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+def _quadratic_problem(seed=0):
+    """min ||w - target||^2 — a convex sanity problem."""
+    rng = np.random.default_rng(seed)
+    target = rng.standard_normal(4)
+    w = Parameter(np.zeros(4))
+
+    def loss():
+        diff = w - Tensor(target)
+        return (diff * diff).sum()
+
+    return w, target, loss
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        w, target, loss = _quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        w, target, loss = _quadratic_problem()
+        opt = SGD([w], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-4)
+
+    def test_adam_converges(self):
+        w, target, loss = _quadratic_problem()
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-3)
+
+    def test_adam_skips_gradless_params(self):
+        w = Parameter(np.ones(2))
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no gradient: must not move or crash
+        np.testing.assert_array_equal(w.data, 1.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1.0)
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.ones(3) * 10.0)
+        opt = Adam([w], lr=0.1, weight_decay=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()
+            opt.step()
+        assert np.abs(w.data).max() < 10.0
+
+
+class TestEMAAndSchedule:
+    def test_ema_tracks_slowly(self):
+        lin = Linear(2, 2, rng=np.random.default_rng(0))
+        ema = ExponentialMovingAverage(lin, decay=0.9)
+        before = {k: v.copy() for k, v in ema.shadow.items()}
+        lin.weight.data += 1.0
+        ema.update()
+        for k in before:
+            if "weight" in k:
+                delta = ema.shadow[k] - before[k]
+                np.testing.assert_allclose(delta, 0.1, atol=1e-12)
+
+    def test_ema_copy_to(self):
+        lin = Linear(2, 2, rng=np.random.default_rng(0))
+        ema = ExponentialMovingAverage(lin, decay=0.5)
+        orig = lin.weight.data.copy()
+        lin.weight.data += 4.0
+        ema.copy_to()
+        np.testing.assert_allclose(lin.weight.data, orig)
+
+    def test_ema_bad_decay(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(Linear(1, 1), decay=1.5)
+
+    def test_exponential_lr(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)

@@ -1,0 +1,203 @@
+"""Tests for ASCII plotting, evaluation metrics and fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.data import attach_labels, build_training_set
+from repro.distribution import BalancedDistributedSampler
+from repro.mace import MACE, MACEConfig
+from repro.training import (
+    Trainer,
+    evaluate_energies,
+    evaluate_forces,
+    parity_data,
+)
+from repro.utils import bar_chart, line_chart
+
+CFG = MACEConfig(num_channels=4, lmax_sh=2, l_atomic_basis=2, correlation=2)
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": ([1, 2, 3], [1.0, 2.0, 3.0])}, width=20, height=5)
+        assert "legend: o a" in out
+        assert out.count("|") >= 10
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart(
+            {"a": ([1, 2], [1.0, 2.0]), "b": ([1, 2], [2.0, 1.0])},
+            width=10,
+            height=4,
+        )
+        assert "o a" in out and "x b" in out
+
+    def test_log_axes(self):
+        out = line_chart(
+            {"s": ([1, 10, 100], [1.0, 10.0, 100.0])},
+            log_x=True,
+            log_y=True,
+            width=21,
+            height=5,
+        )
+        # On log-log, the three points sit on the corners/center diagonal.
+        rows = [l for l in out.splitlines() if "|" in l and "legend" not in l]
+        assert "o" in rows[0] and "o" in rows[-1]
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": ([0, 1], [1.0, 2.0])}, log_x=True)
+
+    def test_title_and_labels(self):
+        out = line_chart(
+            {"s": ([1, 2], [3.0, 4.0])},
+            title="TITLE",
+            x_label="xx",
+            y_label="yy",
+        )
+        assert "TITLE" in out and "xx" in out and "yy" in out
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": ([], [])})
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": ([1, 2], [1.0])})
+
+    def test_constant_series(self):
+        out = line_chart({"s": ([1, 2, 3], [5.0, 5.0, 5.0])}, width=12, height=4)
+        assert "o" in out
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].endswith("1") and lines[1].endswith("2")
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_unit_suffix(self):
+        out = bar_chart(["x"], [42.0], unit="%")
+        assert "42%" in out
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+@pytest.fixture(scope="module")
+def labeled():
+    return attach_labels(build_training_set(8, seed=21, max_atoms=40))
+
+
+class TestEvaluationMetrics:
+    def test_overall_metrics(self, labeled):
+        model = MACE(CFG, seed=0)
+        res = evaluate_energies(model, labeled)
+        m = res["overall"]
+        assert m.n_samples == len(labeled)
+        assert m.mae <= m.rmse <= m.max_error + 1e-12
+        assert "meV/atom" in str(m)
+
+    def test_by_system_breakdown(self, labeled):
+        model = MACE(CFG, seed=0)
+        res = evaluate_energies(model, labeled, by_system=True)
+        systems = {g.system for g in labeled}
+        assert set(res) == systems | {"overall"}
+        assert sum(res[s].n_samples for s in systems) == len(labeled)
+
+    def test_perfect_model_zero_error(self, labeled):
+        """If labels equal predictions, every metric vanishes."""
+        model = MACE(CFG, seed=0)
+        from repro.graphs import collate
+
+        preds = model.predict_energy(collate(labeled))
+        relabeled = [g for g in labeled]
+        originals = [g.energy for g in relabeled]
+        try:
+            for g, e in zip(relabeled, preds):
+                g.energy = float(e)
+            m = evaluate_energies(model, relabeled)["overall"]
+            assert m.rmse == pytest.approx(0.0, abs=1e-12)
+        finally:
+            for g, e in zip(relabeled, originals):
+                g.energy = e
+
+    def test_unlabeled_raises(self, labeled):
+        from repro.graphs import MolecularGraph
+
+        g = MolecularGraph(np.zeros((1, 3)), np.array([1]))
+        g.edge_index = np.zeros((2, 0), dtype=np.int64)
+        g.edge_shift = np.zeros((0, 3))
+        with pytest.raises(ValueError):
+            evaluate_energies(MACE(CFG, seed=0), [g])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_energies(MACE(CFG, seed=0), [])
+
+    def test_force_metrics(self, labeled):
+        res = evaluate_forces(MACE(CFG, seed=0), labeled[:2])
+        assert res["max_net_force"] < 1e-8  # Newton's third law
+        assert res["max_force"] >= 0.0
+
+    def test_parity_data_shapes(self, labeled):
+        data = parity_data(MACE(CFG, seed=0), labeled)
+        assert data["predicted"].shape == data["reference"].shape
+        assert data["system"].shape == (len(labeled),)
+
+
+class TestFineTuning:
+    def test_freeze_reduces_trainable(self, labeled):
+        model = MACE(CFG, seed=0)
+        trainer = Trainer(model, labeled)
+        n_total = model.num_parameters()
+        n_trainable = trainer.freeze_representation()
+        assert 0 < n_trainable < n_total / 3
+
+    def test_frozen_layers_stay_fixed(self, labeled):
+        model = MACE(CFG, seed=0)
+        trainer = Trainer(model, labeled, lr=0.05)
+        trainer.freeze_representation()
+        frozen_before = {
+            name: p.data.copy()
+            for name, p in model.named_parameters()
+            if name.startswith("layer")
+        }
+        for _ in range(3):
+            trainer.train_step([0, 1, 2])
+        for name, before in frozen_before.items():
+            p = dict(model.named_parameters())[name]
+            np.testing.assert_array_equal(p.data, before)
+
+    def test_heads_still_learn(self, labeled):
+        model = MACE(CFG, seed=0)
+        trainer = Trainer(model, labeled, lr=0.05)
+        trainer.freeze_representation()
+        before = model.species_energy.data.copy()
+        losses = [trainer.train_step(list(range(len(labeled)))) for _ in range(8)]
+        assert losses[-1] < losses[0]
+        assert not np.array_equal(model.species_energy.data, before)
+
+    def test_fine_tune_transfer_scenario(self, labeled):
+        """Pretrain on one split, fine-tune heads on another: loss drops."""
+        sampler = BalancedDistributedSampler(
+            [g.n_atoms for g in labeled[:5]], 128, num_replicas=1
+        )
+        model = MACE(CFG, seed=1)
+        pre = Trainer(model, labeled[:5], lr=0.01)
+        pre.fit(sampler, 3)
+        fine = Trainer(model, labeled[5:], lr=0.01)
+        n = fine.freeze_representation()
+        assert n > 0
+        l0 = fine.evaluate()
+        for _ in range(6):
+            fine.train_step(list(range(len(labeled) - 5)))
+        assert fine.evaluate() < l0

@@ -1,0 +1,119 @@
+"""Tests for rotation matrices and real Wigner-D representations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.equivariant import (
+    euler_angles,
+    random_rotation,
+    rotation_matrix,
+    wigner_D,
+    wigner_D_from_angles,
+)
+
+
+class TestRotationMatrix:
+    def test_identity(self):
+        R = rotation_matrix(np.array([1.0, 0, 0]), 0.0)
+        np.testing.assert_allclose(R, np.eye(3), atol=1e-15)
+
+    def test_orthogonality(self, rng):
+        R = rotation_matrix(rng.standard_normal(3), 1.234)
+        np.testing.assert_allclose(R @ R.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_quarter_turn_about_z(self):
+        R = rotation_matrix(np.array([0, 0, 1.0]), math.pi / 2)
+        np.testing.assert_allclose(R @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_axis_is_fixed(self, rng):
+        axis = rng.standard_normal(3)
+        R = rotation_matrix(axis, 0.9)
+        u = axis / np.linalg.norm(axis)
+        np.testing.assert_allclose(R @ u, u, atol=1e-12)
+
+    def test_zero_axis_raises(self):
+        with pytest.raises(ValueError):
+            rotation_matrix(np.zeros(3), 1.0)
+
+
+class TestRandomRotation:
+    def test_proper_orthogonal(self, rng):
+        for _ in range(10):
+            R = random_rotation(rng)
+            np.testing.assert_allclose(R @ R.T, np.eye(3), atol=1e-12)
+            assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self):
+        a = random_rotation(np.random.default_rng(3))
+        b = random_rotation(np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEulerAngles:
+    def test_roundtrip(self, rng):
+        """R -> (a, b, g) -> Rz(a)Ry(b)Rz(g) reproduces R."""
+        for _ in range(20):
+            R = random_rotation(rng)
+            a, b, g = euler_angles(R)
+            Rz = lambda t: rotation_matrix(np.array([0, 0, 1.0]), t)
+            Ry = lambda t: rotation_matrix(np.array([0, 1.0, 0]), t)
+            np.testing.assert_allclose(Rz(a) @ Ry(b) @ Rz(g), R, atol=1e-10)
+
+    def test_gimbal_identity(self):
+        a, b, g = euler_angles(np.eye(3))
+        assert b == pytest.approx(0.0)
+
+    def test_gimbal_beta_pi(self):
+        R = np.diag([-1.0, 1.0, -1.0])  # Ry(pi)
+        a, b, g = euler_angles(R)
+        assert b == pytest.approx(math.pi)
+        Rz = lambda t: rotation_matrix(np.array([0, 0, 1.0]), t)
+        Ry = lambda t: rotation_matrix(np.array([0, 1.0, 0]), t)
+        np.testing.assert_allclose(Rz(a) @ Ry(b) @ Rz(g), R, atol=1e-10)
+
+
+class TestWignerD:
+    @pytest.mark.parametrize("l", range(5))
+    def test_orthogonal(self, l, rng):
+        D = wigner_D(l, random_rotation(rng))
+        np.testing.assert_allclose(D @ D.T, np.eye(2 * l + 1), atol=1e-12)
+
+    @pytest.mark.parametrize("l", range(4))
+    def test_identity_rotation(self, l):
+        np.testing.assert_allclose(wigner_D(l, np.eye(3)), np.eye(2 * l + 1), atol=1e-12)
+
+    @pytest.mark.parametrize("l", range(1, 4))
+    def test_homomorphism(self, l, rng):
+        """D(R1 R2) = D(R1) D(R2) — the defining group property."""
+        R1, R2 = random_rotation(rng), random_rotation(rng)
+        np.testing.assert_allclose(
+            wigner_D(l, R1 @ R2), wigner_D(l, R1) @ wigner_D(l, R2), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("l", range(1, 4))
+    def test_inverse(self, l, rng):
+        R = random_rotation(rng)
+        np.testing.assert_allclose(
+            wigner_D(l, R.T), wigner_D(l, R).T, atol=1e-10
+        )
+
+    def test_l0_trivial(self, rng):
+        assert wigner_D(0, random_rotation(rng)).shape == (1, 1)
+        assert wigner_D(0, random_rotation(rng))[0, 0] == pytest.approx(1.0)
+
+    def test_l1_conjugate_to_rotation(self, rng):
+        """D_1 is the rotation matrix in the (y, z, x) component order."""
+        R = random_rotation(rng)
+        D = wigner_D(1, R)
+        perm = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+        np.testing.assert_allclose(perm.T @ D @ perm, R, atol=1e-12)
+
+    def test_from_angles_matches(self, rng):
+        R = random_rotation(rng)
+        a, b, g = euler_angles(R)
+        np.testing.assert_allclose(
+            wigner_D(2, R), wigner_D_from_angles(2, a, b, g), atol=1e-12
+        )
