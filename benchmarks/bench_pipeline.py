@@ -1,0 +1,244 @@
+"""Benchmark: the vectorized neighbor-list -> batch pipeline.
+
+Three measurements, each tied to an acceptance criterion of the pipeline
+subsystem:
+
+1. **Cell-list construction** — the vectorized sort-by-bin /
+   ``searchsorted`` implementation against the seed's per-bucket Python
+   loops (kept below as ``_legacy_grid_periodic`` for comparison) on a
+   >= 1000-atom periodic system.  Target: >= 5x speedup, identical edge
+   set.
+2. **Verlet-skin MD rebuilds** — neighbor-list rebuild count along a
+   thermal random-walk trajectory with a :class:`NeighborListCache`
+   versus the rebuild-every-step baseline.
+3. **Collate cache** — epoch re-collation time with a
+   :class:`CollateCache` versus collating every bin from scratch.
+
+Run standalone::
+
+    python benchmarks/bench_pipeline.py          # full (asserts targets)
+    python benchmarks/bench_pipeline.py --smoke  # quick CI smoke pass
+
+``--smoke`` shrinks the workload so the whole script finishes in a few
+seconds; speedup targets are reported but not enforced (timings on tiny
+systems are noise-dominated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+# Allow running from a checkout without installation, from any CWD.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster.workload import PAPER_MODEL  # noqa: E402
+from repro.distribution import BalancedDistributedSampler  # noqa: E402
+from repro.graphs import (  # noqa: E402
+    CollateCache,
+    MolecularGraph,
+    NeighborListCache,
+    build_neighbor_list,
+)
+from repro.graphs.neighborlist import (  # noqa: E402
+    _cell_widths,
+    _grid_periodic,
+)
+
+
+def _legacy_grid_periodic(pos, cutoff, cell):
+    """The seed's per-bucket periodic grid search (pre-vectorization),
+    kept verbatim as the benchmark baseline."""
+    inv = np.linalg.inv(cell)
+    frac = (pos @ inv) % 1.0
+    nbins = np.maximum((_cell_widths(cell) // cutoff).astype(int), 1)
+    coords = np.minimum((frac * nbins).astype(np.int64), nbins - 1)
+    buckets: dict = {}
+    for idx in range(pos.shape[0]):
+        buckets.setdefault(tuple(coords[idx]), []).append(idx)
+    offsets = np.array(list(itertools.product((-1, 0, 1), repeat=3)))
+    senders, receivers, shifts = [], [], []
+    cut2 = cutoff * cutoff
+    for key, members in buckets.items():
+        mem = np.asarray(members)
+        base = np.asarray(key)
+        for off in offsets:
+            raw = base + off
+            wrap = np.floor_divide(raw, nbins)
+            other = buckets.get(tuple(raw - wrap * nbins))
+            if not other:
+                continue
+            cand = np.asarray(other)
+            shift = wrap @ cell
+            delta = (pos[cand] + shift)[None, :, :] - pos[mem][:, None, :]
+            dist2 = np.einsum("ijk,ijk->ij", delta, delta)
+            ii, jj = np.nonzero(dist2 <= cut2)
+            same = (mem[ii] == cand[jj]) & np.all(wrap == 0)
+            keep = ~same
+            senders.append(cand[jj][keep])
+            receivers.append(mem[ii][keep])
+            shifts.append(np.broadcast_to(shift, (int(keep.sum()), 3)))
+    edge_index = np.stack(
+        [np.concatenate(senders), np.concatenate(receivers)]
+    ).astype(np.int64)
+    return edge_index, np.concatenate(shifts, axis=0)
+
+
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_cell_list(n_atoms: int, repeats: int) -> float:
+    """Legacy per-bucket vs vectorized cell list; returns the speedup."""
+    rng = np.random.default_rng(0)
+    cutoff = 4.5
+    # Liquid-like density ~0.05 atoms/A^3 in a cubic periodic box.
+    width = (n_atoms / 0.05) ** (1.0 / 3.0)
+    cell = np.eye(3) * width
+    pos = rng.uniform(0.0, 1.0, (n_atoms, 3)) @ cell
+
+    t_legacy, (ei_l, es_l) = _best_of(
+        lambda: _legacy_grid_periodic(pos, cutoff, cell), repeats
+    )
+    t_vec, (ei_v, es_v) = _best_of(
+        lambda: _grid_periodic(pos, cutoff, cell), repeats
+    )
+
+    def edge_set(ei, es):
+        return set(zip(ei[0].tolist(), ei[1].tolist(), map(tuple, np.round(es, 6))))
+
+    assert edge_set(ei_l, es_l) == edge_set(ei_v, es_v), "edge sets differ!"
+    speedup = t_legacy / t_vec
+    print(
+        f"[cell list]  {n_atoms} atoms periodic, {ei_v.shape[1]} edges: "
+        f"legacy {t_legacy * 1e3:8.1f} ms  vectorized {t_vec * 1e3:8.1f} ms  "
+        f"-> {speedup:5.1f}x"
+    )
+    return speedup
+
+
+def bench_verlet_skin(n_atoms: int, n_steps: int) -> int:
+    """Neighbor-list rebuild count along a random-walk trajectory."""
+    rng = np.random.default_rng(1)
+    width = (n_atoms / 0.05) ** (1.0 / 3.0)
+    cell = np.eye(3) * width
+    g = MolecularGraph(
+        rng.uniform(0.0, 1.0, (n_atoms, 3)) @ cell,
+        np.full(n_atoms, 8),
+        cell=cell,
+        pbc=True,
+    )
+    cache = NeighborListCache(cutoff=4.5, skin=0.6)
+
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        g.positions += rng.normal(0.0, 0.02, g.positions.shape)  # ~MD step
+        cache.update(g)
+    t_cached = time.perf_counter() - t0
+
+    g.positions = rng.uniform(0.0, 1.0, (n_atoms, 3)) @ cell
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        g.positions += rng.normal(0.0, 0.02, g.positions.shape)
+        build_neighbor_list(g, cutoff=4.5)
+    t_naive = time.perf_counter() - t0
+
+    print(
+        f"[verlet]     {n_steps} MD steps, {n_atoms} atoms: "
+        f"{cache.rebuilds}/{n_steps} rebuilds "
+        f"(reuse {cache.reuse_fraction:.0%}); "
+        f"every-step {t_naive * 1e3:7.1f} ms vs cached {t_cached * 1e3:7.1f} ms"
+    )
+    return cache.rebuilds
+
+
+def bench_collate_cache(n_graphs: int, n_epochs: int) -> float:
+    """Epoch materialization with and without the collate cache."""
+    rng = np.random.default_rng(2)
+    graphs = []
+    for _ in range(n_graphs):
+        n = int(rng.integers(8, 40))
+        g = MolecularGraph(rng.uniform(0.0, 8.0, (n, 3)), np.full(n, 8))
+        build_neighbor_list(g, cutoff=3.0)
+        graphs.append(g)
+    sampler = BalancedDistributedSampler(
+        [g.n_atoms for g in graphs], capacity=128, num_replicas=1, shuffle=False
+    )
+
+    t0 = time.perf_counter()
+    for epoch in range(n_epochs):
+        sampler.rank_graph_batches(epoch, 0, graphs)
+    t_cold = time.perf_counter() - t0
+
+    cache = CollateCache()
+    t0 = time.perf_counter()
+    for epoch in range(n_epochs):
+        batches = sampler.rank_graph_batches(epoch, 0, graphs, cache=cache)
+    t_warm = time.perf_counter() - t0
+
+    stats = cache.stats()
+    speedup = t_cold / max(t_warm, 1e-9)
+    pad = float(np.mean([b.padding_fraction for b in batches]))
+    print(
+        f"[collate]    {n_graphs} graphs x {n_epochs} epochs: "
+        f"uncached {t_cold * 1e3:7.1f} ms  cached {t_warm * 1e3:7.1f} ms "
+        f"-> {speedup:4.1f}x (hit rate {stats['hit_rate']:.0%}, "
+        f"padding {pad:.1%})"
+    )
+    model = PAPER_MODEL.host_collate_seconds(
+        np.full(len(batches), 3072.0), np.full(len(batches), 90000.0),
+        cache_hit_rate=stats["hit_rate"],
+    )
+    print(
+        f"[collate]    analytical host model at paper scale: "
+        f"{model.sum() * 1e3:.2f} ms/epoch at hit rate {stats['hit_rate']:.0%}"
+    )
+    return speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast workload; report but do not enforce speedup targets",
+    )
+    parser.add_argument("--atoms", type=int, default=None, help="periodic system size")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_atoms = args.atoms or 300
+        repeats, n_steps, n_graphs, n_epochs = 1, 20, 100, 3
+    else:
+        n_atoms = args.atoms or 2000
+        repeats, n_steps, n_graphs, n_epochs = 3, 100, 800, 5
+    if n_atoms < 1000 and not args.smoke:
+        parser.error("full mode needs >= 1000 atoms for a meaningful target")
+
+    speedup = bench_cell_list(n_atoms, repeats)
+    rebuilds = bench_verlet_skin(min(n_atoms, 500), n_steps)
+    bench_collate_cache(n_graphs, n_epochs)
+
+    ok = True
+    if rebuilds >= n_steps:
+        print("FAIL: Verlet skin cache did not reduce rebuild count")
+        ok = False
+    if not args.smoke and speedup < 5.0:
+        print(f"FAIL: cell-list speedup {speedup:.1f}x below the 5x target")
+        ok = False
+    print("pipeline benchmark:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

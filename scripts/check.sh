@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 test suite plus the pipeline smoke benchmark, so
+# correctness *and* perf regressions in the graph pipeline are catchable
+# from one command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python benchmarks/bench_pipeline.py --smoke
+echo "check: OK"

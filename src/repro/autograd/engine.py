@@ -413,6 +413,10 @@ class Transpose(Function):
         (axes,) = self.saved
         if axes is None:
             return (np.transpose(grad),)
+        # Negative axes are valid forward arguments but break argsort's
+        # inverse (argsort((-1, 0, 1)) != inverse permutation); normalize
+        # mod ndim before inverting.
+        axes = tuple(int(a) % grad.ndim for a in axes)
         inv = np.argsort(axes)
         return (np.transpose(grad, inv),)
 

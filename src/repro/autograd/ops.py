@@ -13,7 +13,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from .engine import Function, Tensor, as_tensor
+from .engine import Function, Tensor, _unbroadcast, as_tensor
 
 __all__ = [
     "gather_rows",
@@ -100,12 +100,16 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 class Where(Function):
     def forward(self, a, b, cond):
-        self.saved = (cond,)
+        self.saved = (cond, a.shape, b.shape)
         return np.where(cond, a, b)
 
     def backward(self, grad):
-        (cond,) = self.saved
-        return (np.where(cond, grad, 0.0), np.where(cond, 0.0, grad))
+        cond, shape_a, shape_b = self.saved
+        # Operands may have been broadcast against each other / the
+        # condition; reduce each gradient back to its operand's shape.
+        ga = _unbroadcast(np.where(cond, grad, 0.0), shape_a)
+        gb = _unbroadcast(np.where(cond, 0.0, grad), shape_b)
+        return (ga, gb)
 
 
 def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:

@@ -30,6 +30,16 @@ __all__ = ["MACEWorkloadModel", "PAPER_MODEL"]
 
 _BACKWARD_FACTOR = 2.0  # backward pass ~2x the forward FLOPs/bytes
 
+# Host-side batch-construction constants (seconds), calibrated against
+# ``benchmarks/bench_pipeline.py`` on the NumPy reference pipeline: a
+# collate is a handful of array concatenations (per-token and per-edge
+# copies plus fixed allocation overhead), a CollateCache hit is a
+# dictionary lookup with LRU bookkeeping.
+_HOST_COLLATE_BASE = 3.0e-5
+_HOST_COLLATE_PER_TOKEN = 8.0e-9
+_HOST_COLLATE_PER_EDGE = 4.0e-9
+_HOST_CACHE_HIT = 2.0e-6
+
 
 @dataclass(frozen=True)
 class MACEWorkloadModel:
@@ -202,6 +212,33 @@ class MACEWorkloadModel:
         compute = flops * pen / gpu.sustained_flops
         memory = bytes_ / gpu.sustained_bandwidth
         return launches * gpu.launch_overhead + _roofline(compute, memory, n, sat)
+
+    def host_collate_seconds(
+        self,
+        tokens: np.ndarray,
+        edges: np.ndarray,
+        cache_hit_rate: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized host-side batch-construction time (seconds) per batch.
+
+        Models the CPU cost of assembling one block-diagonal mini-batch
+        (the :func:`repro.graphs.batch.collate` path): per-token and
+        per-edge array copies plus fixed overhead.  ``cache_hit_rate`` is
+        the expected :class:`repro.graphs.CollateCache` hit fraction over
+        the epoch; hits cost only the lookup.  The balanced sampler's
+        deterministic plans make the hit rate 1.0 for every epoch past
+        the first when shuffling is off.
+        """
+        if not 0.0 <= cache_hit_rate <= 1.0:
+            raise ValueError("cache_hit_rate must be in [0, 1]")
+        n = np.asarray(tokens, dtype=np.float64)
+        e = np.asarray(edges, dtype=np.float64)
+        miss = (
+            _HOST_COLLATE_BASE
+            + n * _HOST_COLLATE_PER_TOKEN
+            + e * _HOST_COLLATE_PER_EDGE
+        )
+        return (1.0 - cache_hit_rate) * miss + cache_hit_rate * _HOST_CACHE_HIT
 
     def memory_per_batch(self, tokens: np.ndarray, edges: np.ndarray) -> np.ndarray:
         """Approximate activation memory (bytes) of one batch.

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .binpack import Bin, create_balanced_batches
+from .sampler import _EpochPlanMixin
 
 __all__ = ["sharded_balanced_batches", "RandomizedBalancedSampler"]
 
@@ -63,13 +64,14 @@ def sharded_balanced_batches(
     return bins
 
 
-class RandomizedBalancedSampler:
+class RandomizedBalancedSampler(_EpochPlanMixin):
     """Epoch sampler using sharded balanced packing.
 
     Drop-in alternative to
     :class:`repro.distribution.BalancedDistributedSampler` whose epoch
     plans are genuinely stochastic: the shard composition (hence every
-    batch) changes with the epoch seed.
+    batch) changes with the epoch seed.  Rank dealing, capacity
+    extraction and batch materialization come from the shared mixin.
     """
 
     def __init__(
@@ -92,13 +94,6 @@ class RandomizedBalancedSampler:
         return sharded_balanced_batches(
             self.sizes, self.capacity, self.num_replicas, self.shard_size, rng
         )
-
-    def rank_batches(self, epoch: int, rank: int) -> List[List[int]]:
-        """Batches for one rank (cyclic bin assignment)."""
-        if not 0 <= rank < self.num_replicas:
-            raise ValueError(f"rank {rank} out of range")
-        bins = self.plan_epoch(epoch)
-        return [b.items for i, b in enumerate(bins) if i % self.num_replicas == rank]
 
     def assignment_entropy(self, n_epochs: int = 4) -> float:
         """Fraction of samples whose batch co-members change between epochs

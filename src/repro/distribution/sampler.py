@@ -10,22 +10,83 @@ bins up front (§3.2.1).  This module reproduces that integration point:
 * :class:`FixedCountDistributedSampler` — the baseline: shuffle, chunk a
   fixed number of graphs per batch, deal round-robin.
 
-Both yield, per rank, a list of batches (lists of dataset indices).
+Both yield, per rank, a list of batches (lists of dataset indices), and
+both can *materialize* a rank's epoch directly into collated
+:class:`~repro.graphs.batch.GraphBatch` objects via
+:meth:`rank_graph_batches`, optionally through a
+:class:`~repro.graphs.pipeline.CollateCache` so compositions repeated
+across epochs are collated once.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..graphs.pipeline import CollateCache, materialize_epoch
 from .binpack import Bin, create_balanced_batches
 from .baselines import fixed_count_batches
 
 __all__ = ["BalancedDistributedSampler", "FixedCountDistributedSampler"]
 
 
-class BalancedDistributedSampler:
+class _EpochPlanMixin:
+    """Epoch-plan consumption shared by both samplers.
+
+    Subclasses provide ``plan_epoch(epoch) -> List[Bin]`` and
+    ``num_replicas``; everything below — the cyclic rank dealing rule
+    (bin ``i`` goes to rank ``i % G``), capacity extraction and batch
+    materialization — lives here so there is exactly one source of
+    truth for how plans map onto ranks.
+    """
+
+    def all_rank_bins(self, epoch: int) -> List[List[Tuple[List[int], int]]]:
+        """Per-rank ``(indices, capacity)`` bin lists from one planning
+        pass — the only place the dealing rule appears."""
+        out: List[List[Tuple[List[int], int]]] = [
+            [] for _ in range(self.num_replicas)
+        ]
+        for i, b in enumerate(self.plan_epoch(epoch)):
+            out[i % self.num_replicas].append((b.items, int(b.capacity)))
+        return out
+
+    def plan_rank_bins(
+        self, epoch: int, rank: int
+    ) -> List[Tuple[List[int], int]]:
+        """``(indices, capacity)`` pairs of the bins rank ``rank`` owns."""
+        if not 0 <= rank < self.num_replicas:
+            raise ValueError(f"rank {rank} out of range")
+        return self.all_rank_bins(epoch)[rank]
+
+    def rank_batches(self, epoch: int, rank: int) -> List[List[int]]:
+        """The batches (index lists) rank ``rank`` processes this epoch."""
+        return [items for items, _ in self.plan_rank_bins(epoch, rank)]
+
+    def all_rank_batches(self, epoch: int) -> List[List[List[int]]]:
+        """Per-rank batch lists (single planning pass, used by simulators)."""
+        return [
+            [items for items, _ in rank_bins]
+            for rank_bins in self.all_rank_bins(epoch)
+        ]
+
+    def rank_graph_batches(
+        self,
+        epoch: int,
+        rank: int,
+        graphs: Sequence,
+        cache: Optional[CollateCache] = None,
+    ) -> List:
+        """Collated :class:`GraphBatch` list for ``rank``'s epoch plan.
+
+        Each batch is stamped with its bin's capacity so padding metrics
+        (objective 4) survive materialization; with a ``cache``, bins
+        whose composition was seen before reuse the cached batch.
+        """
+        return materialize_epoch(self, graphs, epoch, rank, cache=cache)
+
+
+class BalancedDistributedSampler(_EpochPlanMixin):
     """Epoch-wise balanced batch sampler (the paper's modified sampler).
 
     Parameters
@@ -80,23 +141,8 @@ class BalancedDistributedSampler:
             b.items = [int(order[i]) for i in b.items]
         return bins
 
-    def rank_batches(self, epoch: int, rank: int) -> List[List[int]]:
-        """The batches (index lists) rank ``rank`` processes this epoch."""
-        if not 0 <= rank < self.num_replicas:
-            raise ValueError(f"rank {rank} out of range")
-        bins = self.plan_epoch(epoch)
-        return [b.items for i, b in enumerate(bins) if i % self.num_replicas == rank]
 
-    def all_rank_batches(self, epoch: int) -> List[List[List[int]]]:
-        """Per-rank batch lists (single planning pass, used by simulators)."""
-        bins = self.plan_epoch(epoch)
-        out: List[List[List[int]]] = [[] for _ in range(self.num_replicas)]
-        for i, b in enumerate(bins):
-            out[i % self.num_replicas].append(b.items)
-        return out
-
-
-class FixedCountDistributedSampler:
+class FixedCountDistributedSampler(_EpochPlanMixin):
     """The PyG-default baseline: fixed graphs-per-batch, shuffled each epoch."""
 
     def __init__(
@@ -117,18 +163,3 @@ class FixedCountDistributedSampler:
         """Chunk the (shuffled) dataset into fixed-count batches."""
         rng = np.random.default_rng(self.seed + epoch) if self.shuffle else None
         return fixed_count_batches(self.sizes, self.graphs_per_batch, rng=rng)
-
-    def rank_batches(self, epoch: int, rank: int) -> List[List[int]]:
-        """The batches rank ``rank`` processes this epoch."""
-        if not 0 <= rank < self.num_replicas:
-            raise ValueError(f"rank {rank} out of range")
-        bins = self.plan_epoch(epoch)
-        return [b.items for i, b in enumerate(bins) if i % self.num_replicas == rank]
-
-    def all_rank_batches(self, epoch: int) -> List[List[List[int]]]:
-        """Per-rank batch lists (single planning pass)."""
-        bins = self.plan_epoch(epoch)
-        out: List[List[List[int]]] = [[] for _ in range(self.num_replicas)]
-        for i, b in enumerate(bins):
-            out[i % self.num_replicas].append(b.items)
-        return out

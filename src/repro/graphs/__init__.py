@@ -8,6 +8,12 @@ from .neighborlist import (
     cell_list_neighbor_list,
 )
 from .batch import GraphBatch, collate
+from .pipeline import (
+    DEFAULT_SKIN,
+    CollateCache,
+    NeighborListCache,
+    materialize_epoch,
+)
 
 __all__ = [
     "MolecularGraph",
@@ -19,4 +25,8 @@ __all__ = [
     "brute_force_neighbor_list",
     "cell_list_neighbor_list",
     "DEFAULT_CUTOFF",
+    "NeighborListCache",
+    "CollateCache",
+    "materialize_epoch",
+    "DEFAULT_SKIN",
 ]

@@ -12,7 +12,7 @@ the quantity objective (4) of the bin-packing formulation minimizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -93,37 +93,33 @@ def collate(
     """
     if not graphs:
         raise ValueError("cannot collate an empty list of graphs")
-    pos_list: List[np.ndarray] = []
-    spec_list: List[np.ndarray] = []
-    ei_list: List[np.ndarray] = []
-    es_list: List[np.ndarray] = []
-    gi_list: List[np.ndarray] = []
-    energies = np.full(len(graphs), np.nan)
-    offset = 0
     for g_id, g in enumerate(graphs):
         if not g.has_edges:
             raise ValueError(
                 f"graph {g_id} ({g.system}) has no neighbor list; "
                 "call build_neighbor_list first"
             )
-        pos_list.append(g.positions)
-        spec_list.append(g.species)
-        ei_list.append(g.edge_index + offset)
-        es_list.append(
-            g.edge_shift
-            if g.edge_shift is not None
-            else np.zeros((g.n_edges, 3))
-        )
-        gi_list.append(np.full(g.n_atoms, g_id, dtype=np.int64))
-        if g.energy is not None:
-            energies[g_id] = g.energy
-        offset += g.n_atoms
+    n_atoms = np.array([g.n_atoms for g in graphs], dtype=np.int64)
+    offsets = np.cumsum(n_atoms) - n_atoms  # per-graph vertex offsets
+    energies = np.array(
+        [np.nan if g.energy is None else g.energy for g in graphs]
+    )
     batch = GraphBatch(
-        positions=np.concatenate(pos_list, axis=0),
-        species=np.concatenate(spec_list, axis=0),
-        edge_index=np.concatenate(ei_list, axis=1),
-        edge_shift=np.concatenate(es_list, axis=0),
-        graph_index=np.concatenate(gi_list, axis=0),
+        positions=np.concatenate([g.positions for g in graphs], axis=0),
+        species=np.concatenate([g.species for g in graphs], axis=0),
+        edge_index=np.concatenate(
+            [g.edge_index + off for g, off in zip(graphs, offsets)], axis=1
+        ),
+        edge_shift=np.concatenate(
+            [
+                g.edge_shift
+                if g.edge_shift is not None
+                else np.zeros((g.n_edges, 3))
+                for g in graphs
+            ],
+            axis=0,
+        ),
+        graph_index=np.repeat(np.arange(len(graphs), dtype=np.int64), n_atoms),
         n_graphs=len(graphs),
         energies=energies,
         capacity=capacity,

@@ -13,8 +13,12 @@ Two interchangeable implementations are provided:
 * :func:`cell_list_neighbor_list` — O(n) spatial-hashing implementation for
   larger periodic systems.
 
-Both return directed edges in both orientations, the convention MACE's
-message passing expects.
+The cell list is fully array-vectorized: atoms are sorted by linearized
+bin id, each bin becomes a contiguous slice located with
+``np.searchsorted``, and all 27 bin-pair blocks are expanded in one ragged
+``repeat``/``cumsum`` pass — no Python-level iteration over spatial
+buckets.  Both implementations return directed edges in both orientations,
+the convention MACE's message passing expects.
 """
 
 from __future__ import annotations
@@ -81,13 +85,20 @@ def brute_force_neighbor_list(
         return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
     senders, receivers, shifts = [], [], []
     if pbc and cell is not None:
+        # Fold positions into the unit cell first; atoms that have
+        # drifted outside (MD trajectories never wrap) would otherwise
+        # need image shifts beyond the enumerated range.  Each atom's own
+        # wrap is folded back into the per-edge shift below.
+        frac = pos @ np.linalg.inv(cell)
+        base = np.floor(frac).astype(np.int64)
+        pos_w = (frac - base) @ cell
         images = _periodic_images(cell, cutoff)
         shift_vecs = images @ cell
         for s_idx in range(shift_vecs.shape[0]):
             shift = shift_vecs[s_idx]
             is_zero = bool(np.all(images[s_idx] == 0))
-            # delta[j, i] = pos[j] + shift - pos[i]
-            delta = pos[:, None, :] + shift - pos[None, :, :]
+            # delta[j, i] = pos_w[j] + shift - pos_w[i]
+            delta = pos_w[:, None, :] + shift - pos_w[None, :, :]
             dist2 = np.einsum("jik,jik->ji", delta, delta)
             mask = dist2 <= cutoff * cutoff
             if is_zero:
@@ -95,7 +106,9 @@ def brute_force_neighbor_list(
             j, i = np.nonzero(mask)
             senders.append(j)
             receivers.append(i)
-            shifts.append(np.broadcast_to(shift, (j.size, 3)))
+            # Total shift in original coordinates: the image shift plus
+            # the senders'/receivers' own folds.
+            shifts.append(shift + (base[i] - base[j]) @ cell)
     else:
         delta = pos[:, None, :] - pos[None, :, :]
         dist2 = np.einsum("jik,jik->ji", delta, delta)
@@ -150,82 +163,138 @@ def _cell_widths(cell: np.ndarray) -> np.ndarray:
     return volume / np.linalg.norm(cross, axis=1)
 
 
+# The 27 bin offsets of a 3x3x3 neighborhood, materialized once.
+_NEIGHBOR_OFFSETS = np.array(
+    list(itertools.product((-1, 0, 1), repeat=3)), dtype=np.int64
+)
+
+
+def _linear_bin_ids(coords: np.ndarray, nbins: np.ndarray) -> np.ndarray:
+    """Row-major linearization of integer 3D bin coordinates."""
+    return (coords[..., 0] * nbins[1] + coords[..., 1]) * nbins[2] + coords[..., 2]
+
+
+def _sort_by_bin(
+    coords: np.ndarray, nbins: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort atoms by linearized bin id.
+
+    Returns ``(order, sorted_ids)``: the permutation placing each bin's
+    members contiguously, and the sorted ids themselves, so any bin's
+    member slice is recovered with two ``np.searchsorted`` calls.
+    """
+    bin_ids = _linear_bin_ids(coords, nbins)
+    order = np.argsort(bin_ids, kind="stable")
+    return order, bin_ids[order]
+
+
+def _bin_ranges(
+    sorted_ids: np.ndarray, query_ids: np.ndarray, total_bins: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Member-slice ``(start, count)`` of each queried bin.
+
+    Dense systems use an O(total_bins) offset table (one ``bincount`` +
+    ``cumsum``, then O(1) lookups); dilute systems, where the table would
+    dwarf the atom count, fall back to binary search.
+    """
+    if total_bins <= 8 * max(sorted_ids.size, 1):
+        starts = np.zeros(total_bins + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sorted_ids, minlength=total_bins), out=starts[1:])
+        lo = starts[query_ids]
+        counts = starts[query_ids + 1] - lo
+    else:
+        lo = np.searchsorted(sorted_ids, query_ids, side="left")
+        counts = np.searchsorted(sorted_ids, query_ids, side="right") - lo
+    return lo, counts
+
+
+def _expand_segments(
+    starts: np.ndarray, counts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ragged expansion of per-query candidate slices.
+
+    Query ``q`` owns the half-open index range
+    ``[starts[q], starts[q] + counts[q])``; the expansion enumerates every
+    (query, index) pair without a Python loop.  Returns ``(owner, member)``
+    arrays of equal length ``counts.sum()``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    owner = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    segment_first = np.repeat(np.cumsum(counts) - counts, counts)
+    member = np.arange(total, dtype=np.int64) - segment_first + np.repeat(
+        starts, counts
+    )
+    return owner, member
+
+
 def _grid_open(pos: np.ndarray, cutoff: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Open-boundary grid search, vectorized over all bin-pair blocks."""
     n = pos.shape[0]
     origin = pos.min(axis=0)
     coords = np.floor((pos - origin) / cutoff).astype(np.int64)
-    buckets: dict = {}
-    for idx in range(n):
-        buckets.setdefault(tuple(coords[idx]), []).append(idx)
-    offsets = np.array(list(itertools.product((-1, 0, 1), repeat=3)))
-    senders, receivers = [], []
-    cut2 = cutoff * cutoff
-    for key, members in buckets.items():
-        mem = np.asarray(members)
-        cand = []
-        base = np.asarray(key)
-        for off in offsets:
-            other = buckets.get(tuple(base + off))
-            if other:
-                cand.extend(other)
-        cand = np.asarray(cand)
-        delta = pos[cand][None, :, :] - pos[mem][:, None, :]
-        dist2 = np.einsum("ijk,ijk->ij", delta, delta)
-        ii, jj = np.nonzero(dist2 <= cut2)
-        keep = mem[ii] != cand[jj]
-        senders.append(cand[jj][keep])
-        receivers.append(mem[ii][keep])
-    if senders:
-        edge_index = np.stack(
-            [np.concatenate(senders), np.concatenate(receivers)]
-        ).astype(np.int64)
-    else:
-        edge_index = np.zeros((2, 0), dtype=np.int64)
+    nbins = coords.max(axis=0) + 1
+    order, sorted_ids = _sort_by_bin(coords, nbins)
+    # (27, n, 3) neighbor-bin coordinates of every atom under every offset.
+    nb = coords[None, :, :] + _NEIGHBOR_OFFSETS[:, None, :]
+    valid = np.all((nb >= 0) & (nb < nbins), axis=2).ravel()
+    total_bins = int(nbins.prod())
+    nb_ids = np.clip(_linear_bin_ids(nb, nbins).ravel(), 0, total_bins - 1)
+    lo, counts = _bin_ranges(sorted_ids, nb_ids, total_bins)
+    counts = np.where(valid, counts, 0)
+    owner, member = _expand_segments(lo, counts)
+    recv = owner % n  # owner flattens (offset, atom); atom is the receiver
+    send = order[member]
+    delta = pos[send] - pos[recv]
+    dist2 = np.einsum("ij,ij->i", delta, delta)
+    keep = (dist2 <= cutoff * cutoff) & (send != recv)
+    edge_index = np.stack([send[keep], recv[keep]]).astype(np.int64)
     return edge_index, np.zeros((edge_index.shape[1], 3))
 
 
 def _grid_periodic(
     pos: np.ndarray, cutoff: float, cell: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Periodic grid search via fractional-coordinate binning."""
+    """Periodic grid search via fractional-coordinate binning.
+
+    Requires at least three bins per lattice direction (the caller
+    guarantees this) so each offset maps to a distinct wrapped bin and
+    image shifts stay within one cell period.
+    """
+    n = pos.shape[0]
     inv = np.linalg.inv(cell)
-    frac = (pos @ inv) % 1.0
-    nbins = np.maximum((_cell_widths(cell) // cutoff).astype(int), 1)
+    frac_raw = pos @ inv
+    # Fold every atom into the unit cell and remember its own wrap so
+    # out-of-cell positions (MD drift) get correct per-edge shifts.
+    base = np.floor(frac_raw).astype(np.int64)
+    frac = frac_raw - base
+    pos_w = frac @ cell
+    nbins = np.maximum((_cell_widths(cell) // cutoff).astype(np.int64), 1)
     coords = np.minimum((frac * nbins).astype(np.int64), nbins - 1)
-    buckets: dict = {}
-    for idx in range(pos.shape[0]):
-        buckets.setdefault(tuple(coords[idx]), []).append(idx)
-    offsets = np.array(list(itertools.product((-1, 0, 1), repeat=3)))
-    senders, receivers, shifts = [], [], []
-    cut2 = cutoff * cutoff
-    for key, members in buckets.items():
-        mem = np.asarray(members)
-        base = np.asarray(key)
-        for off in offsets:
-            raw = base + off
-            wrap = np.floor_divide(raw, nbins)
-            other = buckets.get(tuple(raw - wrap * nbins))
-            if not other:
-                continue
-            cand = np.asarray(other)
-            shift = wrap @ cell  # image shift applied to the sender bucket
-            delta = (pos[cand] + shift)[None, :, :] - pos[mem][:, None, :]
-            dist2 = np.einsum("ijk,ijk->ij", delta, delta)
-            ii, jj = np.nonzero(dist2 <= cut2)
-            same = (mem[ii] == cand[jj]) & np.all(wrap == 0)
-            keep = ~same
-            senders.append(cand[jj][keep])
-            receivers.append(mem[ii][keep])
-            shifts.append(np.broadcast_to(shift, (int(keep.sum()), 3)))
-    if senders:
-        edge_index = np.stack(
-            [np.concatenate(senders), np.concatenate(receivers)]
-        ).astype(np.int64)
-        edge_shift = np.concatenate(shifts, axis=0)
-    else:
-        edge_index = np.zeros((2, 0), dtype=np.int64)
-        edge_shift = np.zeros((0, 3))
-    return edge_index, edge_shift
+    order, sorted_ids = _sort_by_bin(coords, nbins)
+    raw = coords[None, :, :] + _NEIGHBOR_OFFSETS[:, None, :]  # (27, n, 3)
+    wrap = np.floor_divide(raw, nbins)
+    nb_ids = _linear_bin_ids(raw - wrap * nbins, nbins).ravel()
+    lo, counts = _bin_ranges(sorted_ids, nb_ids, int(nbins.prod()))
+    owner, member = _expand_segments(lo, counts)
+    recv = owner % n
+    send = order[member]
+    # Image shift applied to the sender bucket, per (offset, atom) query.
+    wrap_flat = wrap.reshape(-1, 3)
+    shift = (wrap_flat @ cell)[owner]
+    delta = pos_w[send] + shift - pos_w[recv]
+    dist2 = np.einsum("ij,ij->i", delta, delta)
+    wrapped_query = np.any(wrap_flat != 0, axis=1)  # per (offset, atom)
+    same = (send == recv) & ~wrapped_query[owner]
+    keep = (dist2 <= cutoff * cutoff) & ~same
+    send, recv = send[keep], recv[keep]
+    # Total shift in original coordinates folds the atoms' own wraps
+    # back in (zero for in-cell positions).
+    total_shift = shift[keep] + (base[recv] - base[send]) @ cell
+    edge_index = np.stack([send, recv]).astype(np.int64)
+    return edge_index, total_shift
 
 
 def build_neighbor_list(

@@ -1,0 +1,315 @@
+"""Cached graph pipeline: Verlet-skin neighbor lists and batch reuse.
+
+The load balancer (Algorithm 1) only pays off when mini-batch
+*construction* — neighbor lists, block-diagonal collation, padding at
+capacity ``C`` — is not itself the bottleneck.  This module adds the two
+caches that take batch construction off the hot path:
+
+* :class:`NeighborListCache` — a Verlet-skin neighbor list.  The list is
+  built once at ``cutoff + skin`` and each query merely *filters* the
+  cached candidate edges down to the true ``cutoff`` with current
+  positions.  **Invalidation rule:** a full rebuild happens only when any
+  atom has moved more than ``skin / 2`` from its position at build time
+  (then a pair outside the candidate set could have entered the cutoff),
+  or when the system itself changes (atom count, species, cell, pbc).
+  The filtered edge set is always *identical* to a fresh build at
+  ``cutoff`` — the skin trades a cheap O(E) distance filter per query for
+  an O(n) grid rebuild every few MD steps.
+
+* :class:`CollateCache` — an LRU cache of materialized
+  :class:`~repro.graphs.batch.GraphBatch` objects keyed on dataset
+  identity (the ``is``-identity of the graph list), *bin composition*
+  (the sorted tuple of dataset indices) and capacity, so one cache can
+  serve several datasets (train/validation) without index collisions.
+  Epoch-wise bin-packing plans repeat compositions across epochs (always,
+  when the sampler does not shuffle; frequently otherwise), so training
+  loops reuse collated batches instead of re-concatenating the same
+  arrays.  Member graphs are collated in sorted-index order, so two bins
+  with the same composition share one batch regardless of the order the
+  sampler listed them in — all consumers (loss, metrics) are invariant to
+  member order within a batch.  The cache assumes the underlying graphs
+  are static (training sets are); call :meth:`CollateCache.clear` after
+  mutating graph geometry or labels in place.
+
+Padding accounting is preserved: cached batches carry the ``capacity``
+they were packed into, so the bin-packing padding metrics (objective 4)
+are unaffected by reuse.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .batch import GraphBatch, collate
+from .molecular_graph import MolecularGraph
+from .neighborlist import DEFAULT_CUTOFF, build_neighbor_list
+
+__all__ = [
+    "NeighborListCache",
+    "CollateCache",
+    "materialize_epoch",
+    "epoch_plan_bins",
+    "DEFAULT_SKIN",
+]
+
+DEFAULT_SKIN = 0.6  # Angstrom; a typical MD Verlet-skin radius
+
+
+class NeighborListCache:
+    """Verlet-skin neighbor-list cache for trajectories.
+
+    Parameters
+    ----------
+    cutoff:
+        True interaction cutoff; returned edges are exactly those within
+        it (the cache is invisible to consumers).
+    skin:
+        Extra candidate radius.  Larger skins rebuild less often but
+        filter more candidate edges per query; 0 disables caching (every
+        query is a full rebuild).
+    method:
+        Neighbor-list method forwarded to
+        :func:`~repro.graphs.neighborlist.build_neighbor_list`.
+
+    Attributes
+    ----------
+    queries, rebuilds:
+        Statistics counters; ``rebuilds <= queries`` and the gap is the
+        work the skin saved.
+    """
+
+    def __init__(
+        self,
+        cutoff: float = DEFAULT_CUTOFF,
+        skin: float = DEFAULT_SKIN,
+        method: str = "auto",
+    ) -> None:
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        if skin < 0:
+            raise ValueError("skin must be non-negative")
+        self.cutoff = float(cutoff)
+        self.skin = float(skin)
+        self.method = method
+        self.queries = 0
+        self.rebuilds = 0
+        self._ref_positions: Optional[np.ndarray] = None
+        self._ref_species: Optional[np.ndarray] = None
+        self._ref_cell: Optional[np.ndarray] = None
+        self._ref_pbc: bool = False
+        self._cand_index: Optional[np.ndarray] = None
+        self._cand_shift: Optional[np.ndarray] = None
+
+    # -- invalidation ---------------------------------------------------------------
+
+    def _needs_rebuild(self, graph: MolecularGraph) -> bool:
+        ref = self._ref_positions
+        if ref is None or self.skin == 0.0:
+            return True
+        if graph.n_atoms != ref.shape[0]:
+            return True
+        if not np.array_equal(graph.species, self._ref_species):
+            return True
+        if graph.pbc != self._ref_pbc:
+            return True
+        if (graph.cell is None) != (self._ref_cell is None):
+            return True
+        if graph.cell is not None and not np.array_equal(graph.cell, self._ref_cell):
+            return True
+        disp2 = np.einsum(
+            "ij,ij->i", graph.positions - ref, graph.positions - ref
+        )
+        return bool(disp2.max(initial=0.0) > (self.skin * 0.5) ** 2)
+
+    # -- query ----------------------------------------------------------------------
+
+    def update(self, graph: MolecularGraph) -> bool:
+        """Attach exact-``cutoff`` edges to ``graph``; returns whether a
+        full rebuild was performed (False = cached candidates reused)."""
+        self.queries += 1
+        rebuilt = self._needs_rebuild(graph)
+        if rebuilt:
+            self.rebuilds += 1
+            build_neighbor_list(
+                graph, cutoff=self.cutoff + self.skin, method=self.method
+            )
+            self._cand_index = graph.edge_index
+            self._cand_shift = (
+                graph.edge_shift
+                if graph.edge_shift is not None
+                else np.zeros((graph.n_edges, 3))
+            )
+            self._ref_positions = graph.positions.copy()
+            self._ref_species = graph.species.copy()
+            self._ref_cell = None if graph.cell is None else graph.cell.copy()
+            self._ref_pbc = graph.pbc
+        send, recv = self._cand_index
+        delta = graph.positions[send] + self._cand_shift - graph.positions[recv]
+        within = np.einsum("ij,ij->i", delta, delta) <= self.cutoff * self.cutoff
+        graph.edge_index = self._cand_index[:, within]
+        graph.edge_shift = self._cand_shift[within]
+        return rebuilt
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of queries served without a rebuild."""
+        if self.queries == 0:
+            return 0.0
+        return 1.0 - self.rebuilds / self.queries
+
+
+class CollateCache:
+    """LRU cache of collated :class:`GraphBatch` objects.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached batches (least-recently-used eviction);
+        ``None`` means unbounded.
+    max_datasets:
+        Maximum number of distinct graph lists tracked at once.  Keys
+        include a dataset-identity token, and the cache pins a strong
+        reference to each tracked list so its ``is``-identity stays
+        valid; when the bound is exceeded the least-recently-used
+        dataset is dropped together with all its cached batches.
+
+    Attributes
+    ----------
+    hits, misses:
+        Statistics counters.
+    """
+
+    def __init__(
+        self, maxsize: Optional[int] = 1024, max_datasets: int = 8
+    ) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None)")
+        if max_datasets <= 0:
+            raise ValueError("max_datasets must be positive")
+        self.maxsize = maxsize
+        self.max_datasets = max_datasets
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[Tuple, GraphBatch]" = OrderedDict()
+        # token -> dataset, in recency order.  Tokens are never reused,
+        # so evicting a dataset cannot alias a later one's keys.
+        self._datasets: "OrderedDict[int, Sequence[MolecularGraph]]" = OrderedDict()
+        self._next_token = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _dataset_token(self, graphs: Sequence[MolecularGraph]) -> int:
+        for token, known in self._datasets.items():
+            if known is graphs:
+                self._datasets.move_to_end(token)
+                return token
+        token = self._next_token
+        self._next_token += 1
+        self._datasets[token] = graphs
+        if len(self._datasets) > self.max_datasets:
+            stale, _ = self._datasets.popitem(last=False)
+            for key in [k for k in self._store if k[0] == stale]:
+                del self._store[key]
+        return token
+
+    def key(
+        self,
+        graphs: Sequence[MolecularGraph],
+        indices: Sequence[int],
+        capacity: int = 0,
+    ) -> Tuple:
+        """Cache key: dataset identity, bin composition (order-insensitive)
+        and capacity."""
+        return (
+            self._dataset_token(graphs),
+            tuple(sorted(int(i) for i in indices)),
+            int(capacity),
+        )
+
+    def get(
+        self,
+        graphs: Sequence[MolecularGraph],
+        indices: Sequence[int],
+        capacity: int = 0,
+    ) -> GraphBatch:
+        """The batch for bin ``indices`` of ``graphs``, collating on miss.
+
+        Member graphs are collated in sorted-index order so equal
+        compositions share one cached batch.
+        """
+        key = self.key(graphs, indices, capacity)
+        batch = self._store.get(key)
+        if batch is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return batch
+        self.misses += 1
+        batch = collate([graphs[i] for i in key[1]], capacity=capacity)
+        self._store[key] = batch
+        if self.maxsize is not None and len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return batch
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters plus the resulting hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._store),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop all cached batches and dataset references (call after
+        mutating graphs in place)."""
+        self._store.clear()
+        self._datasets.clear()
+
+
+def epoch_plan_bins(sampler, epoch: int, rank: int) -> List[Tuple[List[int], int]]:
+    """One rank's epoch plan as ``(indices, capacity)`` pairs.
+
+    The single place the sampler's plan API is adapted: samplers exposing
+    ``plan_rank_bins`` (all repo samplers, via their shared mixin) supply
+    per-bin capacities directly from one planning pass — the balanced
+    samplers' fixed ``C``, the fixed-count baseline's epoch max fill;
+    foreign samplers fall back to ``rank_batches`` plus a ``capacity``
+    attribute (0 when absent).
+    """
+    plan_rank_bins = getattr(sampler, "plan_rank_bins", None)
+    if plan_rank_bins is not None:
+        return plan_rank_bins(epoch, rank)
+    capacity = int(getattr(sampler, "capacity", 0))
+    return [(idx, capacity) for idx in sampler.rank_batches(epoch, rank)]
+
+
+def materialize_epoch(
+    sampler,
+    graphs: Sequence[MolecularGraph],
+    epoch: int,
+    rank: int,
+    cache: Optional[CollateCache] = None,
+) -> List[GraphBatch]:
+    """Materialize one rank's epoch plan into :class:`GraphBatch` objects.
+
+    Per-bin capacities from the plan (see :func:`epoch_plan_bins`) are
+    recorded on each batch so padding metrics survive materialization.
+    With a ``cache``, repeated bin compositions across epochs reuse
+    collated batches.
+    """
+    batches = []
+    for bin_indices, capacity in epoch_plan_bins(sampler, epoch, rank):
+        if not bin_indices:
+            continue
+        if cache is not None:
+            batches.append(cache.get(graphs, bin_indices, capacity))
+        else:
+            batches.append(
+                collate([graphs[i] for i in bin_indices], capacity=capacity)
+            )
+    return batches

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..graphs.molecular_graph import MolecularGraph
 from ..graphs.neighborlist import DEFAULT_CUTOFF, build_neighbor_list
+from ..graphs.pipeline import NeighborListCache
 
 __all__ = ["ATOMIC_MASSES", "MDState", "Trajectory", "VelocityVerlet", "temperature"]
 
@@ -106,6 +107,12 @@ class VelocityVerlet:
     cutoff:
         Neighbor-list cutoff; the list is rebuilt every ``rebuild_every``
         steps (graph edges are dynamic, Table 1).
+    skin:
+        Verlet-skin radius.  When positive, the neighbor list is kept
+        through a :class:`repro.graphs.NeighborListCache` *every* step —
+        exact edges always, full grid rebuilds only when an atom has
+        drifted more than ``skin / 2`` — and ``rebuild_every`` is
+        ignored.  0 (default) keeps the legacy fixed-interval rebuild.
     seed:
         RNG seed for initial velocities and the thermostat noise.
     """
@@ -119,6 +126,7 @@ class VelocityVerlet:
         target_temperature: float = 300.0,
         cutoff: float = DEFAULT_CUTOFF,
         rebuild_every: int = 5,
+        skin: float = 0.0,
         seed: int = 0,
     ) -> None:
         if timestep_fs <= 0:
@@ -132,6 +140,11 @@ class VelocityVerlet:
         self.target_temperature = target_temperature
         self.cutoff = cutoff
         self.rebuild_every = max(int(rebuild_every), 1)
+        if skin < 0:
+            raise ValueError("skin must be non-negative")
+        self.neighbor_cache = (
+            NeighborListCache(cutoff, skin) if skin > 0 else None
+        )
         self.rng = np.random.default_rng(seed)
         self.masses = _masses(graph.species)
         self._refresh_edges()
@@ -155,7 +168,15 @@ class VelocityVerlet:
         self.state.velocities = v
 
     def _refresh_edges(self) -> None:
-        build_neighbor_list(self.graph, cutoff=self.cutoff)
+        if self.neighbor_cache is not None:
+            self.neighbor_cache.update(self.graph)
+        else:
+            build_neighbor_list(self.graph, cutoff=self.cutoff)
+
+    @property
+    def neighbor_rebuilds(self) -> int:
+        """Full neighbor-list rebuilds so far (skin mode only; 0 otherwise)."""
+        return 0 if self.neighbor_cache is None else self.neighbor_cache.rebuilds
 
     # -- stepping -------------------------------------------------------------------
 
@@ -168,7 +189,10 @@ class VelocityVerlet:
         v_half = s.velocities + 0.5 * self.dt * acc
         s.positions += self.dt * v_half
         self.graph.positions[...] = s.positions
-        if (s.step + 1) % self.rebuild_every == 0:
+        if self.neighbor_cache is not None:
+            # Exact edges every step; the cache decides when to rebuild.
+            self._refresh_edges()
+        elif (s.step + 1) % self.rebuild_every == 0:
             self._refresh_edges()
         e, f = self.calculator.energy_and_forces(self.graph)
         acc_new = f / m * _ACC_UNIT

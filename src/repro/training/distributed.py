@@ -95,7 +95,16 @@ class DistributedTrainingRun:
     # -- internals --------------------------------------------------------------
 
     def _epoch_plan(self, epoch: int) -> List[List[List[int]]]:
-        plan = self.sampler.all_rank_batches(epoch)
+        all_rank_bins = getattr(self.sampler, "all_rank_bins", None)
+        if all_rank_bins is not None:
+            bins = all_rank_bins(epoch)
+            plan = [[items for items, _ in rank] for rank in bins]
+            self._epoch_bin_capacity = next(
+                (cap for rank in bins for _, cap in rank), 0
+            )
+        else:
+            plan = self.sampler.all_rank_batches(epoch)
+            self._epoch_bin_capacity = int(getattr(self.sampler, "capacity", 0))
         if len(plan) != self.world_size:
             raise ValueError(
                 f"sampler is configured for {len(plan)} replicas, "
@@ -131,6 +140,7 @@ class DistributedTrainingRun:
         report = DistributedRunReport(self.world_size, self.variant)
         for epoch in range(n_epochs):
             plan = self._epoch_plan(epoch)
+            capacity = self._epoch_bin_capacity
             n_steps = max(len(r) for r in plan)
             losses = []
             for step in range(n_steps):
@@ -141,7 +151,9 @@ class DistributedTrainingRun:
                 ]
                 if not step_batches:
                     continue
-                losses.append(self.trainer.ddp_step(step_batches))
+                losses.append(
+                    self.trainer.ddp_step(step_batches, capacity=capacity)
+                )
             self.trainer.scheduler.step()
             report.epoch_losses.append(float(np.mean(losses)))
             report.epoch_minutes.append(self._simulate_plan(plan) / 60.0)

@@ -21,6 +21,7 @@ from ..autograd import Tensor, weighted_mse
 from ..data.labels import ReferencePotential, attach_labels
 from ..graphs.batch import GraphBatch, collate
 from ..graphs.molecular_graph import MolecularGraph
+from ..graphs.pipeline import CollateCache, epoch_plan_bins
 from ..mace import MACE
 from ..nn import Adam, ExponentialLR, ExponentialMovingAverage
 
@@ -86,6 +87,13 @@ class Trainer:
         ``"per_atom"`` weights each graph by ``1 / n_atoms`` (the weighted
         loss of §5.2, preventing huge systems from dominating) or
         ``"uniform"``.
+    collate_cache:
+        Optional :class:`repro.graphs.CollateCache`; when given, batches
+        with a previously seen composition are reused instead of
+        re-collated (epoch plans repeat compositions, so most epochs past
+        the first are pure cache hits).  The loss is invariant to member
+        order within a batch, so the cache's order normalization does not
+        change training.
     """
 
     def __init__(
@@ -96,11 +104,19 @@ class Trainer:
         lr_gamma: float = 0.98,
         ema_decay: float = 0.99,
         loss_weighting: str = "per_atom",
+        collate_cache: Optional[CollateCache] = None,
     ) -> None:
         if loss_weighting not in ("per_atom", "uniform"):
             raise ValueError(f"unknown loss weighting {loss_weighting!r}")
         self.model = model
-        self.graphs = list(graphs)
+        # Keep the caller's list object when possible: the collate cache
+        # keys on dataset identity, so sharing one cache between this
+        # trainer and sampler.rank_graph_batches requires both to see the
+        # same list.  The list is treated as owned by the trainer —
+        # mutating it after construction bypasses the label validation
+        # below (appended unlabeled graphs are caught per-batch in
+        # _collate; replaced graphs must be followed by cache.clear()).
+        self.graphs = graphs if isinstance(graphs, list) else list(graphs)
         for i, g in enumerate(self.graphs):
             if g.energy is None:
                 raise ValueError(f"graph {i} has no energy label")
@@ -111,6 +127,31 @@ class Trainer:
         self.scheduler = ExponentialLR(self.optimizer, gamma=lr_gamma)
         self.ema = ExponentialMovingAverage(model, decay=ema_decay)
         self.loss_weighting = loss_weighting
+        self.collate_cache = collate_cache
+
+    # -- batching -----------------------------------------------------------------
+
+    def _collate(self, batch_indices: Sequence[int], capacity: int = 0) -> GraphBatch:
+        """Collate a mini-batch, through the cache when one is attached.
+
+        ``capacity`` is the bin size the plan packed the batch into; it is
+        part of the cache key (matching ``rank_graph_batches``) and stamps
+        the batch so padding metrics stay available.
+        """
+        if self.collate_cache is not None:
+            batch = self.collate_cache.get(self.graphs, batch_indices, capacity)
+        else:
+            batch = collate(
+                [self.graphs[i] for i in batch_indices], capacity=capacity
+            )
+        # Init-time validation doesn't cover graphs appended to the list
+        # afterwards; fail loudly instead of training on NaN targets.
+        if np.isnan(batch.energies).any():
+            raise ValueError(
+                "batch contains graphs without energy labels "
+                "(dataset mutated after Trainer construction?)"
+            )
+        return batch
 
     # -- loss ---------------------------------------------------------------------
 
@@ -126,9 +167,9 @@ class Trainer:
 
     # -- steps --------------------------------------------------------------------
 
-    def train_step(self, batch_indices: Sequence[int]) -> float:
+    def train_step(self, batch_indices: Sequence[int], capacity: int = 0) -> float:
         """One optimizer step on one mini-batch; returns the loss."""
-        batch = collate([self.graphs[i] for i in batch_indices])
+        batch = self._collate(batch_indices, capacity)
         self.optimizer.zero_grad()
         loss = self._batch_loss(batch)
         loss.backward()
@@ -136,12 +177,16 @@ class Trainer:
         self.ema.update()
         return loss.item()
 
-    def ddp_step(self, rank_batches: Sequence[Sequence[int]]) -> float:
+    def ddp_step(
+        self, rank_batches: Sequence[Sequence[int]], capacity: int = 0
+    ) -> float:
         """One *simulated* DDP step: each rank's batch computes gradients,
         gradients are averaged (allreduce), then a single optimizer step.
 
         Numerically equivalent to synchronous multi-GPU DDP; executed
         sequentially on one process.  Returns the mean loss across ranks.
+        ``capacity`` flows into the collate keys exactly as in
+        :meth:`train_step`.
         """
         grads: Optional[List[np.ndarray]] = None
         losses = []
@@ -149,7 +194,7 @@ class Trainer:
         for batch_idx in rank_batches:
             if not batch_idx:
                 continue
-            batch = collate([self.graphs[i] for i in batch_idx])
+            batch = self._collate(batch_idx, capacity)
             self.model.zero_grad()
             loss = self._batch_loss(batch)
             loss.backward()
@@ -170,9 +215,11 @@ class Trainer:
 
     # -- epochs -------------------------------------------------------------------
 
-    def train_epoch(self, batches: Sequence[Sequence[int]]) -> float:
+    def train_epoch(
+        self, batches: Sequence[Sequence[int]], capacity: int = 0
+    ) -> float:
         """Run all batches once; returns the mean batch loss."""
-        losses = [self.train_step(b) for b in batches if b]
+        losses = [self.train_step(b, capacity) for b in batches if b]
         self.scheduler.step()
         return float(np.mean(losses))
 
@@ -212,13 +259,19 @@ class Trainer:
     ) -> TrainResult:
         """Train ``n_epochs`` using a distribution sampler's batch plan.
 
-        ``sampler`` must expose ``rank_batches(epoch, rank)`` (both samplers
-        in :mod:`repro.distribution` do).
+        ``sampler`` must expose ``plan_rank_bins(epoch, rank)`` (all
+        samplers in :mod:`repro.distribution` do) or ``rank_batches``;
+        see :func:`repro.graphs.pipeline.epoch_plan_bins`.
         """
         result = TrainResult()
+        # Per-bin capacities flow into the collate keys so a cache shared
+        # with rank_graph_batches sees one entry per composition, and
+        # batches keep their padding accounting.
         for epoch in range(n_epochs):
-            batches = sampler.rank_batches(epoch, rank)
-            loss = self.train_epoch(batches)
+            bins = epoch_plan_bins(sampler, epoch, rank)
+            losses = [self.train_step(idx, cap) for idx, cap in bins if idx]
+            self.scheduler.step()
+            loss = float(np.mean(losses))
             result.epoch_losses.append(loss)
             if verbose:
                 print(f"epoch {epoch:3d}  loss {loss:.6f}")

@@ -145,6 +145,24 @@ class TestArithmeticGradients:
             lambda a: (a.transpose((2, 0, 1)) * 1.5).sum(), [a]
         )
 
+    def test_transpose_negative_axes(self, rng):
+        """Regression: argsort((-1, 0, 1)) is not the inverse permutation;
+        the gradient used to come back wrong-shaped and crash backward."""
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        out = a.transpose((-1, 0, 1))
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        check_gradients(
+            lambda a: (a.transpose((-1, 0, 1)) ** 2.0).sum(), [a]
+        )
+
+    def test_transpose_mixed_negative_axes(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)))
+        check_gradients(
+            lambda a: (a.transpose((1, -1, 0)) * 1.5).sum(), [a]
+        )
+
     def test_sum_axis_keepdims(self, rng):
         a = Tensor(rng.standard_normal((3, 4)))
         check_gradients(lambda a: (a.sum(axis=1, keepdims=True) ** 2.0).sum(), [a])
@@ -202,6 +220,34 @@ class TestStructuralOps:
         cond = np.array([True, False, True, False])
         a = Tensor(rng.standard_normal(4))
         b = Tensor(rng.standard_normal(4))
+        check_gradients(lambda a, b: (where(cond, a, b) ** 2.0).sum(), [a, b])
+
+    def test_stack_negative_axis(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)))
+        b = Tensor(rng.standard_normal((2, 3)))
+        out = stack([a, b], axis=-1)
+        assert out.shape == (2, 3, 2)
+        check_gradients(
+            lambda a, b: (stack([a, b], axis=-1) ** 2.0).sum(), [a, b]
+        )
+
+    def test_where_broadcast(self, rng):
+        """Regression: gradients were not un-broadcast to operand shapes —
+        a scalar branch used to raise on backward."""
+        cond = np.array([True, False, True, False, True])
+        a = Tensor(np.array(2.0), requires_grad=True)
+        b = Tensor(rng.standard_normal(5), requires_grad=True)
+        out = where(cond, a, b)
+        out.sum().backward()
+        assert a.grad.shape == ()
+        np.testing.assert_allclose(a.grad, 3.0)
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0, 1.0, 0.0])
+        check_gradients(lambda a, b: (where(cond, a, b) ** 2.0).sum(), [a, b])
+
+    def test_where_broadcast_2d(self, rng):
+        cond = rng.standard_normal((3, 4)) > 0
+        a = Tensor(rng.standard_normal((1, 4)))
+        b = Tensor(rng.standard_normal((3, 4)))
         check_gradients(lambda a, b: (where(cond, a, b) ** 2.0).sum(), [a, b])
 
     def test_clip(self, rng):

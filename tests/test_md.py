@@ -112,11 +112,57 @@ class TestVelocityVerlet:
         assert len(traj.potential) == 5
         assert np.isfinite(traj.total_energy).all()
 
+    def test_skin_cache_matches_every_step_rebuild(self, rng):
+        """Verlet-skin MD reproduces the rebuild-every-step trajectory
+        (the cached filter yields the exact within-cutoff edge set)."""
+        base = generate_structure("Water clusters", rng, n_atoms=9)
+        trajs = []
+        for kwargs in ({"rebuild_every": 1}, {"skin": 1.0}):
+            from repro.graphs import MolecularGraph
+
+            g = MolecularGraph(base.positions.copy(), base.species.copy())
+            build_neighbor_list(g)
+            md = VelocityVerlet(
+                ReferenceCalculator(), g, timestep_fs=0.2, seed=7, **kwargs
+            )
+            md.initialize_velocities(150.0)
+            trajs.append(md.run(12))
+        np.testing.assert_allclose(
+            trajs[0].total_energy, trajs[1].total_energy, rtol=1e-9, atol=1e-9
+        )
+
+    def test_skin_cache_reduces_rebuilds(self, water9):
+        md = VelocityVerlet(
+            ReferenceCalculator(), water9, timestep_fs=0.2, skin=2.0, seed=8
+        )
+        md.initialize_velocities(100.0)
+        md.run(15)
+        # One build at init + far fewer than one rebuild per step after.
+        assert md.neighbor_rebuilds < 15
+        assert md.neighbor_cache.queries >= 15
+
+    def test_mace_calculator_owns_neighbor_list(self, rng):
+        """With a cutoff, the calculator builds/refreshes edges itself."""
+        model = MACE(CFG, seed=0)
+        g = generate_structure("Water clusters", rng, n_atoms=9)
+        build_neighbor_list(g)
+        e_ref, f_ref = MACECalculator(model).energy_and_forces(g)
+        from repro.graphs import MolecularGraph
+
+        bare = MolecularGraph(g.positions.copy(), g.species.copy())
+        calc = MACECalculator(model, cutoff=4.5)
+        e, f = calc.energy_and_forces(bare)
+        assert e == pytest.approx(e_ref, rel=1e-9)
+        np.testing.assert_allclose(f, f_ref, atol=1e-9)
+        assert calc.neighbor_cache.rebuilds == 1
+
     def test_invalid_parameters(self, water9):
         with pytest.raises(ValueError):
             VelocityVerlet(ReferenceCalculator(), water9, timestep_fs=0.0)
         with pytest.raises(ValueError):
             VelocityVerlet(ReferenceCalculator(), water9, friction=-1.0)
+        with pytest.raises(ValueError):
+            VelocityVerlet(ReferenceCalculator(), water9, skin=-0.5)
 
     def test_unknown_mass_raises(self):
         from repro.graphs import MolecularGraph

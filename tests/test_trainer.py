@@ -109,6 +109,28 @@ class TestTrainer:
         ):
             np.testing.assert_allclose(pa.data, pb.data, atol=1e-10, err_msg=na)
 
+    def test_collate_cache_trains_identically(self, labeled_graphs):
+        """A collate cache must not change training: the loss is invariant
+        to member order within a batch, so cached (order-normalized)
+        batches give the same losses and weights."""
+        from repro.graphs import CollateCache
+
+        cache = CollateCache()
+        model_a = MACE(CFG, seed=3)
+        model_b = MACE(CFG, seed=3)
+        ta = Trainer(model_a, labeled_graphs, lr=0.01)
+        tb = Trainer(model_b, labeled_graphs, lr=0.01, collate_cache=cache)
+        batches = [[3, 0, 1], [2, 4], [1, 3, 0]]  # repeats a composition
+        la = [ta.train_step(b) for b in batches]
+        lb = [tb.train_step(b) for b in batches]
+        np.testing.assert_allclose(la, lb, rtol=1e-12)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        for (na, pa), (nb, pb) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-12, err_msg=na)
+
     def test_ddp_step_empty_raises(self, labeled_graphs):
         trainer = Trainer(MACE(CFG, seed=0), labeled_graphs)
         with pytest.raises(ValueError):
