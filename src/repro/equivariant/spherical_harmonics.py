@@ -5,6 +5,16 @@ MACE encodes every edge direction with real spherical harmonics
 module evaluates them for batches of direction vectors with a numerically
 stable associated-Legendre recursion — no dependence on e3nn.
 
+The hot path is fully vectorized over components: recursion coefficients
+and normalization constants are precomputed into per-``lmax`` cached
+tables, evaluation runs in structure-leading layout (component axes
+first, batch axes trailing, so every write is a contiguous block), and
+each degree is assembled with one vectorized write per ``cos``/``sin``
+side — no per-``(l, m)`` Python loops anywhere.  The results are bit-for-
+bit identical to the straightforward loop formulation (the recursions
+execute the same operations, just batched), which the regression tests
+assert exactly.
+
 Conventions
 -----------
 * component ordering ``m = -l .. l`` within each degree block;
@@ -21,7 +31,8 @@ block ``l`` occupying ``[l^2, (l+1)^2)``.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +54,55 @@ def sh_block_slice(l: int) -> slice:
     return slice(l * l, (l + 1) * (l + 1))
 
 
+@lru_cache(maxsize=None)
+def _legendre_coeffs(
+    lmax: int,
+) -> Tuple[np.ndarray, np.ndarray, Tuple[Tuple[np.ndarray, np.ndarray], ...]]:
+    """Recursion-coefficient tables for :func:`legendre_p` (cached per lmax).
+
+    Returns the diagonal factors ``(2m - 1)``, the off-diagonal factors
+    ``(2m + 1)`` and, per degree ``l >= 2``, the ``(l + m - 1)`` and
+    ``(l - m)`` coefficient rows over ``m = 0 .. l - 2`` so the upward
+    recursion runs as one vectorized write per degree.
+    """
+    diag = 2.0 * np.arange(1, lmax + 1) - 1.0
+    off = 2.0 * np.arange(0, max(lmax, 0)) + 1.0
+    rows = []
+    for l in range(2, lmax + 1):
+        m = np.arange(0, l - 1, dtype=np.float64)
+        rows.append((l + m - 1.0, l - m))
+    return diag, off, tuple(rows)
+
+
+def _legendre_p_lm_major(lmax: int, x: np.ndarray) -> np.ndarray:
+    """:func:`legendre_p` in structure-leading ``(l, m, ...)`` layout.
+
+    With the degree axes leading, every recursion step is a contiguous
+    row-block operation (SIMD-friendly, unlike strided writes into a
+    trailing ``(l, m)`` block), which is why the hot path — including
+    :func:`spherical_harmonics` — consumes this layout directly.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    s = np.sqrt(np.clip(1.0 - x * x, 0.0, None))
+    out = np.zeros((lmax + 1, lmax + 1) + x.shape, dtype=np.float64)
+    out[0, 0] = 1.0
+    diag, off, rows = _legendre_coeffs(lmax)
+    # Diagonal P_m^m and first off-diagonal P_{m+1}^m.
+    for m in range(1, lmax + 1):
+        out[m, m] = diag[m - 1] * s * out[m - 1, m - 1]
+    for m in range(0, lmax):
+        out[m + 1, m] = x * off[m] * out[m, m]
+    # Upward recursion in l, one vectorized write over m per degree.
+    extra = (1,) * x.ndim
+    for l in range(2, lmax + 1):
+        num, den = rows[l - 2]
+        out[l, : l - 1] = (
+            x * (2 * l - 1) * out[l - 1, : l - 1]
+            - num.reshape(num.shape + extra) * out[l - 2, : l - 1]
+        ) / den.reshape(den.shape + extra)
+    return out
+
+
 def legendre_p(lmax: int, x: np.ndarray) -> np.ndarray:
     """Associated Legendre functions ``P_l^m(x)`` for ``0 <= m <= l <= lmax``.
 
@@ -51,6 +111,12 @@ def legendre_p(lmax: int, x: np.ndarray) -> np.ndarray:
     * ``P_m^m = (2m - 1)!! (1 - x^2)^{m/2}``
     * ``P_{m+1}^m = x (2m + 1) P_m^m``
     * ``(l - m) P_l^m = x (2l - 1) P_{l-1}^m - (l + m - 1) P_{l-2}^m``
+
+    The upward recursion is sequential in ``l`` but vectorized over ``m``:
+    each degree is one contiguous block write against precomputed
+    coefficient rows (cached per ``lmax``), so no per-``(l, m)`` Python
+    loop remains.  Computation runs in structure-leading layout (see
+    :func:`_legendre_p_lm_major`) and is transposed once on return.
 
     Parameters
     ----------
@@ -64,23 +130,8 @@ def legendre_p(lmax: int, x: np.ndarray) -> np.ndarray:
     Array of shape ``x.shape + (lmax + 1, lmax + 1)`` indexed ``[..., l, m]``
     (entries with ``m > l`` are zero).
     """
-    x = np.asarray(x, dtype=np.float64)
-    s = np.sqrt(np.clip(1.0 - x * x, 0.0, None))
-    out = np.zeros(x.shape + (lmax + 1, lmax + 1), dtype=np.float64)
-    out[..., 0, 0] = 1.0
-    # Diagonal P_m^m and first off-diagonal P_{m+1}^m.
-    for m in range(1, lmax + 1):
-        out[..., m, m] = (2 * m - 1) * s * out[..., m - 1, m - 1]
-    for m in range(0, lmax):
-        out[..., m + 1, m] = x * (2 * m + 1) * out[..., m, m]
-    # Upward recursion in l.
-    for m in range(0, lmax + 1):
-        for l in range(m + 2, lmax + 1):
-            out[..., l, m] = (
-                x * (2 * l - 1) * out[..., l - 1, m]
-                - (l + m - 1) * out[..., l - 2, m]
-            ) / (l - m)
-    return out
+    out = _legendre_p_lm_major(lmax, np.asarray(x, dtype=np.float64))
+    return np.ascontiguousarray(np.moveaxis(out, (0, 1), (-2, -1)))
 
 
 def _sh_norm(l: int, m: int) -> float:
@@ -92,6 +143,28 @@ def _sh_norm(l: int, m: int) -> float:
         * math.factorial(l - m)
         / math.factorial(l + m)
     )
+
+
+@lru_cache(maxsize=None)
+def _sh_tables(
+    lmax: int, normalization: str
+) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+    """Normalization tables (cached per ``lmax`` and normalization).
+
+    Precomputes the fully folded ``m = 0`` constants and, per degree
+    ``l``, the constant row for ``m = 1 .. l`` (scale and ``sqrt(2)``
+    included), so :func:`spherical_harmonics` writes each degree block
+    with vectorized contiguous-slice assignments instead of a
+    per-``(l, m)`` Python loop.
+    """
+    scale = 1.0 if normalization == "integral" else math.sqrt(4.0 * math.pi)
+    sqrt2 = math.sqrt(2.0)
+    norm_m0 = np.array([scale * _sh_norm(l, 0) for l in range(lmax + 1)])
+    norm_rows = tuple(
+        np.array([scale * sqrt2 * _sh_norm(l, m) for m in range(1, l + 1)])
+        for l in range(lmax + 1)
+    )
+    return norm_m0, norm_rows
 
 
 def spherical_harmonics(
@@ -140,32 +213,41 @@ def spherical_harmonics(
     ct = np.clip(z, -1.0, 1.0)  # cos(theta)
     phi = np.arctan2(y, x)
 
-    plm = legendre_p(lmax, ct)
-
     shape = v.shape[:-1] + (sh_dim(lmax),)
     if out is None:
         out = np.empty(shape, dtype=np.float64)
     elif out.shape != shape:
         raise ValueError(f"out has shape {out.shape}, expected {shape}")
 
-    sqrt2 = math.sqrt(2.0)
-    # Precompute cos(m phi), sin(m phi) via recursion to avoid repeated trig.
-    cos_m = [np.ones_like(phi)]
-    sin_m = [np.zeros_like(phi)]
+    # Everything below runs in structure-leading layout — the component
+    # axis leads, the batch axes trail — so every write is a contiguous
+    # row block (see _legendre_p_lm_major); one transpose at the very end
+    # moves the components back to the trailing axis.
+    plm = _legendre_p_lm_major(lmax, ct)  # (l, m, ...)
+
+    # Precompute cos(m phi), sin(m phi) via recursion to avoid repeated
+    # trig, directly into (lmax + 1, ...) stacks.
+    cos_m = np.empty((lmax + 1,) + phi.shape, dtype=np.float64)
+    sin_m = np.empty_like(cos_m)
+    cos_m[0] = 1.0
+    sin_m[0] = 0.0
     cphi, sphi = np.cos(phi), np.sin(phi)
     for m in range(1, lmax + 1):
-        cos_m.append(cos_m[-1] * cphi - sin_m[-1] * sphi)
-        sin_m.append(sin_m[-1] * cphi + cos_m[-2] * sphi)
+        cos_m[m] = cos_m[m - 1] * cphi - sin_m[m - 1] * sphi
+        sin_m[m] = sin_m[m - 1] * cphi + cos_m[m - 1] * sphi
 
+    # One contiguous block write per degree, vectorized over m against the
+    # cached normalization rows — no per-(l, m) Python loop.
+    norm_m0, norm_rows = _sh_tables(lmax, normalization)
+    extra = (1,) * phi.ndim
+    flat = np.empty((sh_dim(lmax),) + phi.shape, dtype=np.float64)
     for l in range(lmax + 1):
         base = l * l
-        if normalization == "integral":
-            scale = 1.0
-        else:  # component: ||Y_l||^2 = 2l + 1 over the sphere
-            scale = math.sqrt(4.0 * math.pi)
-        out[..., base + l] = scale * _sh_norm(l, 0) * plm[..., l, 0]
-        for m in range(1, l + 1):
-            n = scale * sqrt2 * _sh_norm(l, m)
-            out[..., base + l + m] = n * plm[..., l, m] * cos_m[m]
-            out[..., base + l - m] = n * plm[..., l, m] * sin_m[m]
+        flat[base + l] = norm_m0[l] * plm[l, 0]
+        if l:
+            pl = norm_rows[l].reshape((l,) + extra) * plm[l, 1 : l + 1]
+            flat[base + l + 1 : base + 2 * l + 1] = pl * cos_m[1 : l + 1]
+            # m = l .. 1 occupy rows base .. base+l-1 (reversed order).
+            flat[base : base + l] = (pl * sin_m[1 : l + 1])[::-1]
+    out[...] = np.moveaxis(flat, 0, -1)
     return out

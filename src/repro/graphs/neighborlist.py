@@ -134,9 +134,13 @@ def cell_list_neighbor_list(
     """Spatial-hashing neighbor list, O(n) for homogeneous densities.
 
     Non-periodic path bins atoms into a cubic grid of side ``cutoff`` and
-    compares only neighboring bins.  The periodic path currently defers to
-    the brute-force reference when the cell is small relative to the cutoff
-    (where image enumeration dominates anyway) and uses a grid otherwise.
+    compares only neighboring bins.  The periodic path uses the
+    minimum-image grid whenever every perpendicular cell width is at least
+    the cutoff — including 1- and 2-bin directions, where the wrapped
+    ``+-1`` bin offsets enumerate exactly the in-range periodic images.
+    Only when the cutoff *exceeds* a cell width (so images beyond ``+-1``
+    can contribute) does it defer to the brute-force reference, which
+    enumerates the full image range.
     """
     pos = np.asarray(positions, dtype=np.float64)
     n = pos.shape[0]
@@ -144,8 +148,10 @@ def cell_list_neighbor_list(
         return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
     if pbc and cell is not None:
         widths = _cell_widths(cell)
-        if np.any(widths < 3.0 * cutoff):
-            # Few bins per direction: grid gains nothing over brute force.
+        if np.any(widths < cutoff):
+            # Cutoff spans more than one cell period: neighbors can sit in
+            # images beyond the +-1 minimum-image neighborhood, which only
+            # the brute-force image enumeration covers.
             return brute_force_neighbor_list(pos, cutoff, cell, pbc)
         return _grid_periodic(pos, cutoff, cell)
     return _grid_open(pos, cutoff)
@@ -259,9 +265,16 @@ def _grid_periodic(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Periodic grid search via fractional-coordinate binning.
 
-    Requires at least three bins per lattice direction (the caller
-    guarantees this) so each offset maps to a distinct wrapped bin and
-    image shifts stay within one cell period.
+    Valid whenever every perpendicular cell width is >= ``cutoff`` (the
+    caller guarantees this), i.e. for any bin count >= 1 per direction:
+    each raw offset decomposes uniquely as ``wrap * nbins + wrapped_bin``,
+    so the 27 ``+-1`` bin offsets enumerate 27 distinct (bin, image)
+    candidates per atom.  With 1-2 bins per direction several offsets
+    revisit the *same* wrapped bin under different image shifts — exactly
+    the minimum-image candidates a small cell requires (for ``nbins == 1``
+    all three wraps of the single bin) — and a fractional separation
+    ``|f + wrap| <= cutoff / width <= 1`` bounds every in-range image to
+    ``wrap`` in ``{-1, 0, 1}``.
     """
     n = pos.shape[0]
     inv = np.linalg.inv(cell)

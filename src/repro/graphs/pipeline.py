@@ -19,17 +19,22 @@ caches that take batch construction off the hot path:
 * :class:`CollateCache` — an LRU cache of materialized
   :class:`~repro.graphs.batch.GraphBatch` objects keyed on dataset
   identity (the ``is``-identity of the graph list), *bin composition*
-  (the sorted tuple of dataset indices) and capacity, so one cache can
-  serve several datasets (train/validation) without index collisions.
-  Epoch-wise bin-packing plans repeat compositions across epochs (always,
-  when the sampler does not shuffle; frequently otherwise), so training
-  loops reuse collated batches instead of re-concatenating the same
-  arrays.  Member graphs are collated in sorted-index order, so two bins
-  with the same composition share one batch regardless of the order the
-  sampler listed them in — all consumers (loss, metrics) are invariant to
-  member order within a batch.  The cache assumes the underlying graphs
-  are static (training sets are); call :meth:`CollateCache.clear` after
-  mutating graph geometry or labels in place.
+  (the sorted tuple of dataset indices), capacity, and a *fingerprint*
+  (digest of each member's positions/cell/species/edge count and
+  energy/forces labels), so one cache can serve several datasets
+  (train/validation) without index collisions.  Epoch-wise bin-packing plans repeat
+  compositions across epochs (always, when the sampler does not shuffle;
+  frequently otherwise), so training loops reuse collated batches instead
+  of re-concatenating the same arrays.  Member graphs are collated in
+  sorted-index order, so two bins with the same composition share one
+  batch regardless of the order the sampler listed them in — all
+  consumers (loss, metrics) are invariant to member order within a batch.
+  Because the fingerprint is part of the key, active-learning loops that
+  mutate graphs *in place* (new positions, replaced cells, relabeled
+  energies/forces) can never silently read a stale batch: a mutated
+  member simply misses, is re-collated, and the superseded entry is
+  evicted on the spot.  :meth:`CollateCache.clear` remains available to
+  free all memory at once.
 
 Padding accounting is preserved: cached batches carry the ``capacity``
 they were packed into, so the bin-packing padding metrics (objective 4)
@@ -38,6 +43,7 @@ are unaffected by reuse.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,6 +62,47 @@ __all__ = [
 ]
 
 DEFAULT_SKIN = 0.6  # Angstrom; a typical MD Verlet-skin radius
+
+
+def _geometry_fingerprint(graph: MolecularGraph) -> bytes:
+    """Digest of a graph's geometry, labels and edge content.
+
+    Hashing is O(n_atoms + n_edges) — far cheaper than collation — so
+    recomputing it on every cache lookup keeps the hit path fast while
+    making in-place mutation visible to :class:`CollateCache`.
+    Positions, cell, species and labels are hashed byte-exact.  The edge
+    arrays (which dominate the byte count) enter through their count plus
+    vectorized wraparound sum / sum-of-squares checksums rather than a
+    byte hash, so a neighbor-list rebuild at a different cutoff is caught
+    even when the edge *count* happens to be preserved — two distinct
+    edge sets would have to collide in all four checksums at once, which
+    does not happen short of an engineered collision.  Labels are
+    included because collated batches carry them — a relabeling loop at
+    fixed geometry must also miss, not read stale energies.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(graph.positions).tobytes())
+    h.update(np.ascontiguousarray(graph.species).tobytes())
+    h.update(graph.n_edges.to_bytes(8, "little", signed=False))
+    if graph.edge_index is not None:
+        ei = graph.edge_index.astype(np.uint64, copy=False)
+        h.update(np.uint64(ei.sum()).tobytes())
+        h.update(np.uint64((ei * ei).sum()).tobytes())
+    if graph.edge_shift is not None and graph.edge_shift.size:
+        es = graph.edge_shift
+        h.update(es.sum(axis=0).tobytes())
+        h.update(np.float64(np.abs(es).sum()).tobytes())
+    # Optional fields are tagged so present/absent states cannot alias.
+    if graph.cell is not None:
+        h.update(b"C")
+        h.update(np.ascontiguousarray(graph.cell).tobytes())
+    if graph.energy is not None:
+        h.update(b"E")
+        h.update(np.float64(graph.energy).tobytes())
+    if graph.forces is not None:
+        h.update(b"F")
+        h.update(np.ascontiguousarray(graph.forces).tobytes())
+    return h.digest()
 
 
 class NeighborListCache:
@@ -198,6 +245,10 @@ class CollateCache:
         # so evicting a dataset cannot alias a later one's keys.
         self._datasets: "OrderedDict[int, Sequence[MolecularGraph]]" = OrderedDict()
         self._next_token = 0
+        # (token, composition, capacity) -> current full key, so a miss
+        # caused by a fingerprint change evicts the superseded entry
+        # immediately instead of leaving it to age out of the LRU.
+        self._current: Dict[Tuple, Tuple] = {}
 
     def __len__(self) -> int:
         return len(self._store)
@@ -214,6 +265,8 @@ class CollateCache:
             stale, _ = self._datasets.popitem(last=False)
             for key in [k for k in self._store if k[0] == stale]:
                 del self._store[key]
+            for prefix in [p for p in self._current if p[0] == stale]:
+                del self._current[prefix]
         return token
 
     def key(
@@ -222,12 +275,23 @@ class CollateCache:
         indices: Sequence[int],
         capacity: int = 0,
     ) -> Tuple:
-        """Cache key: dataset identity, bin composition (order-insensitive)
-        and capacity."""
+        """Cache key: dataset identity, bin composition (order-insensitive),
+        capacity, and the members' combined geometry/label fingerprint.
+
+        The fingerprint makes in-place mutation (active-learning loops
+        updating ``positions``/``cell``, relabeling loops updating
+        ``energy``/``forces``) a cache *miss* instead of a silent stale
+        read.
+        """
+        comp = tuple(sorted(int(i) for i in indices))
+        geo = hashlib.blake2b(digest_size=16)
+        for i in comp:
+            geo.update(_geometry_fingerprint(graphs[i]))
         return (
             self._dataset_token(graphs),
-            tuple(sorted(int(i) for i in indices)),
+            comp,
             int(capacity),
+            geo.digest(),
         )
 
     def get(
@@ -248,10 +312,19 @@ class CollateCache:
             self._store.move_to_end(key)
             return batch
         self.misses += 1
+        # A fingerprint change supersedes the old entry for this bin;
+        # drop it now so mutation loops don't accumulate dead batches.
+        prefix = key[:3]
+        old_key = self._current.get(prefix)
+        if old_key is not None and old_key != key:
+            self._store.pop(old_key, None)
+        self._current[prefix] = key
         batch = collate([graphs[i] for i in key[1]], capacity=capacity)
         self._store[key] = batch
         if self.maxsize is not None and len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
+            evicted_key, _ = self._store.popitem(last=False)
+            if self._current.get(evicted_key[:3]) == evicted_key:
+                del self._current[evicted_key[:3]]
         return batch
 
     def stats(self) -> Dict[str, float]:
@@ -265,10 +338,16 @@ class CollateCache:
         }
 
     def clear(self) -> None:
-        """Drop all cached batches and dataset references (call after
-        mutating graphs in place)."""
+        """Drop all cached batches and dataset references.
+
+        Not required for correctness after in-place mutation (the
+        fingerprint in the key already invalidates entries whose members'
+        geometry or labels changed, and the superseded entry is dropped
+        on the replacing miss); useful to release all memory at once.
+        """
         self._store.clear()
         self._datasets.clear()
+        self._current.clear()
 
 
 def epoch_plan_bins(sampler, epoch: int, rank: int) -> List[Tuple[List[int], int]]:

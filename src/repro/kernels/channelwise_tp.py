@@ -15,6 +15,18 @@ Two implementations share one precomputed path table:
 * :func:`channelwise_tp_optimized` — a single fused pass over the non-zero
   CG entries only (§4.2: kernel fusion + CG sparsity + one output write).
 
+The optimized variant is formulated as a *segment reduction* over the
+non-zero CG entries, realized with sparse reduction matrices built once in
+:func:`channelwise_tp_table` (cached per degree cap).  Entries are grouped
+by their unique ``(i2, path)`` pair; a single GEMM against ``reduce_y``
+folds the CG values and reduces ``Y`` into a per-edge operator
+``M[e, pair, i3]``, one fused elementwise pass forms the pair features
+``h[:, :, i2] * R[:, :, path]``, and one batched matmul contracts the two —
+every output component in one shot.  Backward runs the same three stages
+transposed, scattering pair gradients onto ``h``/``R`` with precomputed
+one-hot GEMMs: no per-component Python loop and no ``np.add.at`` anywhere
+in forward or backward.
+
 Both are differentiable (custom backward passes, validated by gradcheck)
 and numerically identical.
 """
@@ -41,6 +53,12 @@ __all__ = [
 
 _F8 = 8.0  # bytes per float64 element
 
+# Above this element count per gathered (E, K, n_pairs) block, forward
+# stops keeping the pair gathers alive for backward (they would pin
+# hundreds of MB across the tape on MD-sized batches) and backward
+# re-gathers them instead.
+_PAIR_SAVE_MAX = 1 << 23
+
 
 @dataclass(frozen=True)
 class ChannelwiseTPTable:
@@ -62,6 +80,18 @@ class ChannelwiseTPTable:
     out_groups:
         ``(i3_value, start, stop)`` runs over the entry arrays, which are
         sorted by ``i3`` so each output component is one contiguous block.
+    pair_i2, pair_path:
+        Column/slice indices of the distinct ``(i2, path)`` pairs the
+        entries touch; the fused kernel builds one feature column
+        ``h[:, :, i2] * R[:, :, path]`` per pair.
+    reduce_y:
+        ``((l1max+1)^2, n_pairs * (l3max+1)^2)`` sparse reduction matrix:
+        ``Y @ reduce_y`` folds the CG values and accumulates every entry's
+        ``c * Y[:, i1]`` onto its ``(pair, i3)`` slot in one GEMM.
+    scatter_h, scatter_path:
+        ``(n_pairs, d)`` one-hot scatter matrices onto the ``h`` columns
+        and the radial-weight slices; the backward replaces index scatters
+        (``np.add.at``) with GEMMs against them.
     """
 
     l1max: int
@@ -74,6 +104,11 @@ class ChannelwiseTPTable:
     path_idx: np.ndarray
     values: np.ndarray
     out_groups: Tuple[Tuple[int, int, int], ...]
+    pair_i2: np.ndarray
+    pair_path: np.ndarray
+    reduce_y: np.ndarray
+    scatter_h: np.ndarray
+    scatter_path: np.ndarray
 
     @property
     def num_paths(self) -> int:
@@ -82,6 +117,11 @@ class ChannelwiseTPTable:
     @property
     def nnz(self) -> int:
         return int(self.values.size)
+
+    @property
+    def n_pairs(self) -> int:
+        """Distinct ``(i2, path)`` pairs among the non-zero entries."""
+        return int(self.pair_i2.size)
 
     def dense_mults(self) -> int:
         """Multiply count of the dense per-segment approach (per edge-channel)."""
@@ -121,6 +161,21 @@ def channelwise_tp_table(l1max: int, l2max: int, l3max: int) -> ChannelwiseTPTab
         if k == i3.size or i3[k] != i3[start]:
             groups.append((int(i3[start]), start, k))
             start = k
+    # Pair-level reduction structure: group entries by their unique
+    # (i2, path) pair so the fused kernel touches each pair column once.
+    n_paths = len(paths)
+    d3 = sh_dim(l3max)
+    pair_codes, entry_pair = np.unique(i2 * n_paths + pid, return_inverse=True)
+    pair_i2 = (pair_codes // n_paths).astype(np.int64)
+    pair_path = (pair_codes % n_paths).astype(np.int64)
+    n_pairs = pair_codes.size
+    reduce_y = np.zeros((sh_dim(l1max), n_pairs * d3))
+    np.add.at(reduce_y, (i1, entry_pair * d3 + i3), vals)
+    rows = np.arange(n_pairs)
+    scatter_h = np.zeros((n_pairs, sh_dim(l2max)))
+    scatter_h[rows, pair_i2] = 1.0
+    scatter_path = np.zeros((n_pairs, n_paths))
+    scatter_path[rows, pair_path] = 1.0
     return ChannelwiseTPTable(
         l1max,
         l2max,
@@ -132,6 +187,11 @@ def channelwise_tp_table(l1max: int, l2max: int, l3max: int) -> ChannelwiseTPTab
         np.ascontiguousarray(pid),
         np.ascontiguousarray(vals),
         tuple(groups),
+        pair_i2,
+        pair_path,
+        reduce_y,
+        scatter_h,
+        scatter_path,
     )
 
 
@@ -210,59 +270,67 @@ class _ChannelwiseTPBaseline(Function):
 
 
 class _ChannelwiseTPOptimized(Function):
-    """Single fused pass over non-zero CG entries (§4.2)."""
+    """Single fused pass over non-zero CG entries (§4.2).
+
+    Segment-reduction formulation over the table's distinct ``(i2, path)``
+    pairs (all matrices precomputed in :func:`channelwise_tp_table`):
+
+    1. ``M = (Y @ reduce_y)`` — one GEMM folds the CG values and reduces
+       ``Y`` onto a per-edge operator ``(E, n_pairs, d3)``;
+    2. ``hr = h[:, :, pair_i2] * R[:, :, pair_path]`` — one fused
+       elementwise pass over the pair columns;
+    3. ``out = hr @ M`` — one batched matmul writes every output
+       component at once.
+
+    Backward is the same pipeline transposed (two batched matmuls for the
+    pair/operator gradients, one GEMM each for ``gY``/``gh``/``gR``) — no
+    per-``i3`` Python loop and no ``np.add.at``.
+    """
 
     def forward(self, Y, h, R, table: ChannelwiseTPTable):
         _check_shapes(Y, h, R, table)
-        self.saved = (Y, h, R, table)
         E, K = h.shape[0], h.shape[1]
-        out = np.zeros((E, K, sh_dim(table.l3max)), dtype=np.float64)
-        for i3, lo, hi in table.out_groups:
-            n = hi - lo
-            # All entries feeding output component i3, processed in one shot:
-            # coeff * Y[:, i1] broadcast against h[:, :, i2] * R[:, :, path].
-            yw = table.values[lo:hi] * Y[:, table.i1[lo:hi]]  # (E, n)
-            hr = h[:, :, table.i2[lo:hi]] * R[:, :, table.path_idx[lo:hi]]  # (E, K, n)
-            out[:, :, i3] = np.einsum("en,ekn->ek", yw, hr, optimize=True)
-        nnz = table.nnz
+        d3 = sh_dim(table.l3max)
+        M = (Y @ table.reduce_y).reshape(E, table.n_pairs, d3)
+        hp = h[:, :, table.pair_i2]  # (E, K, n_pairs)
+        Rp = R[:, :, table.pair_path]  # (E, K, n_pairs)
+        hr = hp * Rp
+        out = np.matmul(hr, M)  # (E, K, d3)
+        # M (the only term depending on Y) is always kept; the pair
+        # gathers are kept too when small, else recomputed in backward
+        # (see _PAIR_SAVE_MAX).
+        pair_cache = (hp, Rp, hr) if hr.size <= _PAIR_SAVE_MAX else None
+        self.saved = (h, R, table, M, pair_cache)
         record_kernel(
             "tp_fused",
             1,
-            4.0 * E * K * nnz,
+            4.0 * E * K * table.nnz,
             _F8
             * (
                 E * sh_dim(table.l1max)
                 + E * K * sh_dim(table.l2max)
                 + E * K * table.num_paths
-                + E * K * sh_dim(table.l3max)
+                + E * K * d3
             ),
         )
         return out
 
     def backward(self, grad):
-        Y, h, R, table = self.saved
-        gY = np.zeros_like(Y)
-        gh = np.zeros_like(h)
-        gR = np.zeros_like(R)
-        # One fused backward pass, grouped by output component.
-        for i3, lo, hi in table.out_groups:
-            i1 = table.i1[lo:hi]
-            i2 = table.i2[lo:hi]
-            pid = table.path_idx[lo:hi]
-            c = table.values[lo:hi]
-            g = grad[:, :, i3]  # (E, K)
-            hseg = h[:, :, i2]
-            Rseg = R[:, :, pid]
-            yseg = Y[:, i1]
-            # dY: sum over channels of g * h * R, scaled by coeff.
-            np.add.at(
-                gY,
-                (slice(None), i1),
-                c[None, :] * np.einsum("ek,ekn->en", g, hseg * Rseg, optimize=True),
-            )
-            gy_h = (c[None, :] * yseg)[:, None, :] * g[:, :, None]  # (E, K, n)
-            np.add.at(gh, (slice(None), slice(None), i2), gy_h * Rseg)
-            np.add.at(gR, (slice(None), slice(None), pid), gy_h * hseg)
+        h, R, table, M, pair_cache = self.saved
+        E, K = h.shape[0], h.shape[1]
+        if pair_cache is None:
+            hp = h[:, :, table.pair_i2]
+            Rp = R[:, :, table.pair_path]
+            hr = hp * Rp
+        else:
+            hp, Rp, hr = pair_cache
+        # d(hr): batched matmul against the per-edge operator.
+        g_hr = np.matmul(grad, M.transpose(0, 2, 1))  # (E, K, n_pairs)
+        gh = ((g_hr * Rp).reshape(E * K, -1) @ table.scatter_h).reshape(h.shape)
+        gR = ((g_hr * hp).reshape(E * K, -1) @ table.scatter_path).reshape(R.shape)
+        # d(M) reduces over channels, then the transposed Y reduction.
+        gM = np.matmul(hr.transpose(0, 2, 1), grad)  # (E, n_pairs, d3)
+        gY = gM.reshape(E, -1) @ table.reduce_y.T
         return gY, gh, gR, None
 
 

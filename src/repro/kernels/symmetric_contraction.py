@@ -17,6 +17,22 @@ share precomputed tables:
   atoms, channels and entries (the NumPy analogue of one CUDA block per
   atom with warps over coupling patterns).
 
+The optimized variant evaluates each distinct factor tuple once through a
+shared-prefix product chain and reduces tuple products onto
+``(pattern, M)`` slots with one GEMM per block.  Its backward is a
+*segment reduction* over precomputed index plans built in
+:func:`_build_prefix_plan` (:class:`_SegmentPlan`): every gradient
+scatter down the chain is a segment sum whose realization the plan picks
+up front — a BLAS GEMM against the plan's selection matrix for the tiny
+destination counts of this model (``np.add.reduceat``'s inner loop is not
+SIMD-vectorized and measures ~8x slower there), the gather +
+``reduceat`` pass for wide destinations.  Per-atom weight gradients
+reduce onto species rows through one selection GEMM shared by all blocks
+instead of per-block ``np.add.at`` scatters, and backward re-gathers
+operands from forward's saved level products with contiguous row copies
+(the transposed layout makes every gather a memcpy, every scatter a
+row-block reduction).
+
 Weights are passed as a list with one ``(n_species, K, n_paths)`` tensor per
 ``(nu, L)`` in the order produced by :func:`weight_layout`.
 """
@@ -25,7 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,35 +61,104 @@ __all__ = [
 _F8 = 8.0
 
 
+# Above this destination-matrix size the dense selection matrix of a
+# segment reduction is no longer worth materializing (memory ~ n * n_dst
+# doubles) and the plan falls back to the reduceat segment sum.
+_SELECT_DENSE_MAX = 1 << 22
+
+
+@dataclass(frozen=True)
+class _SegmentPlan:
+    """Precomputed index plan for the row scatter ``dst[rows] += segsum(src)``.
+
+    The fused kernel works in *structure-major* (transposed) layout —
+    source arrays are ``(n, N*K)`` with the structural axis leading — so a
+    gradient scatter groups source **rows** by destination row.  ``order``
+    permutes the rows so equal destinations become contiguous runs,
+    ``starts`` are the run boundaries (``np.add.reduceat`` input) and
+    ``targets`` the distinct destination rows.  The same segment reduction
+    has two interchangeable realizations:
+
+    * ``select`` — the ``(n_dst, n)`` 0/1 selection matrix; the segment
+      sum is one BLAS GEMM.  ``np.add.reduceat``'s inner loop is not
+      SIMD-vectorized (measured ~8x slower than the GEMM at this model's
+      block shapes), so for the tiny destination counts of the hot path
+      the GEMM is the fastest segment sum NumPy can express.
+    * the ``order``/``starts`` arrays — a row gather + ``np.add.reduceat``
+      pass along axis 0, used when ``n * n_dst`` is too large to
+      materialize densely.
+
+    Both are driven by the same precomputed index plan; tests assert they
+    agree.
+    """
+
+    order: np.ndarray  # (n,) stable sort of the destination rows
+    starts: np.ndarray  # (n_segments,) reduceat boundaries
+    targets: np.ndarray  # (n_segments,) distinct destination rows
+    n_dst: int  # destination slot count
+    select: Optional[np.ndarray]  # (n_dst, n) dense selection, or None
+
+    def scatter_add(self, dst: np.ndarray, src: np.ndarray) -> None:
+        """``dst[targets] +=`` segment sums of ``src`` rows."""
+        if self.select is not None:
+            dst += self.select @ src
+        else:
+            dst[self.targets] += np.add.reduceat(
+                src[self.order], self.starts, axis=0
+            )
+
+    def scatter(self, src: np.ndarray) -> np.ndarray:
+        """Fresh ``(n_dst, cols)`` array holding the scattered sums."""
+        if self.select is not None:
+            return self.select @ src
+        out = np.zeros((self.n_dst, src.shape[1]), dtype=np.float64)
+        out[self.targets] = np.add.reduceat(
+            src[self.order], self.starts, axis=0
+        )
+        return out
+
+
+def _segment_plan(rows: np.ndarray, n_dst: int) -> _SegmentPlan:
+    """Build the segment-reduction plan for scattering onto rows ``rows``."""
+    rows = np.asarray(rows, dtype=np.int64)
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    starts = np.concatenate(([0], np.nonzero(np.diff(sorted_rows))[0] + 1))
+    select: Optional[np.ndarray] = None
+    if rows.size * n_dst <= _SELECT_DENSE_MAX:
+        select = np.zeros((n_dst, rows.size))
+        select[rows, np.arange(rows.size)] = 1.0
+    return _SegmentPlan(order, starts, sorted_rows[starts], int(n_dst), select)
+
+
 @dataclass(frozen=True)
 class _Level:
     """One depth of the prefix-product chain of the fused kernel.
 
     Depth-``d`` products are built by multiplying a depth-``(d-1)`` product
-    (``prev_map``) with one more feature column (``new_col``).  The one-hot
-    matrices scatter gradients back down the chain as dense GEMMs.
+    (``prev_map``) with one more feature column (``new_col``).  The segment
+    plans scatter gradients back down the chain as segment sums over the
+    sorted destination columns.
     """
 
     prev_map: np.ndarray  # (n_d,) index into the previous level's products
     new_col: np.ndarray  # (n_d,) flattened feature column of the new factor
-    onehot_prev: np.ndarray  # (n_d, n_prev)
-    onehot_new: np.ndarray  # (n_d, feature_dim)
+    n_prev: int  # slot count of the previous level
+    new_plan: _SegmentPlan  # scatter (n_d,) -> feature columns
+    prev_plan: _SegmentPlan  # scatter (n_d,) -> previous-level products
 
 
 @dataclass(frozen=True)
 class _BlockTable:
     """Entry table of one ``(nu, L)`` pair, pre-packed for the fused kernel.
 
-    Beyond the raw COO entry arrays, three small structural matrices are
-    precomputed so the hot loops become dense GEMMs (the software analogue
-    of the shared-memory staging + warp-level reduction in Listing 1):
-
-    * ``reduce_M`` — ``(nnz, 2L+1)`` with the generalized CG value of each
-      entry at its output component ``M`` (forward reduction);
-    * ``path_onehot`` — ``(nnz, n_paths)`` selecting each entry's pattern
-      ``eta`` (weight gradient reduction);
-    * ``factor_scatter`` — ``nu`` matrices ``(nnz, (lmax+1)^2)`` scattering
-      per-entry gradients back onto the flattened feature axis.
+    Beyond the raw COO entry arrays, the shared-prefix evaluation plan is
+    precomputed (the software analogue of the shared-memory staging +
+    warp-level reduction in Listing 1): the ``levels`` chain builds each
+    distinct factor-tuple product exactly once, ``V`` reduces tuple
+    products onto ``(pattern, M)`` slots with one GEMM, and each level's
+    :class:`_SegmentPlan` routes gradients back down the chain as segment
+    sums instead of dense one-hot GEMMs.
     """
 
     nu: int
@@ -83,10 +168,6 @@ class _BlockTable:
     M_idx: np.ndarray  # (nnz,)
     path_idx: np.ndarray  # (nnz,)
     values: np.ndarray  # (nnz,)
-    m_groups: Tuple[Tuple[int, np.ndarray], ...]  # (M, entry-index array)
-    reduce_M: np.ndarray  # (nnz, 2L+1), values placed at M_idx
-    path_onehot: np.ndarray  # (nnz, n_paths)
-    factor_scatter: Tuple[np.ndarray, ...]  # nu x (nnz, feature_dim)
     levels: Tuple["_Level", ...]  # prefix-product chain (depths 2..nu)
     tuple_cols: np.ndarray  # (n_tup,) A-columns of the depth-1 prefixes
     V: np.ndarray  # (n_tup, n_paths * (2L+1)) coefficient reduction matrix
@@ -171,7 +252,6 @@ def _build_prefix_plan(
     prev_lookup = {tuple(row): i for i, row in enumerate(prev_uniq)}
     for d in range(2, nu + 1):
         uniq = np.unique(tuples[:, :d], axis=0)
-        n_d = uniq.shape[0]
         if d == 2:
             prev_map = uniq[:, 0].astype(np.int64)
             n_prev = dim
@@ -181,11 +261,15 @@ def _build_prefix_plan(
             )
             n_prev = len(prev_lookup)
         new_col = uniq[:, d - 1].astype(np.int64)
-        onehot_prev = np.zeros((n_d, n_prev))
-        onehot_prev[np.arange(n_d), prev_map] = 1.0
-        onehot_new = np.zeros((n_d, dim))
-        onehot_new[np.arange(n_d), new_col] = 1.0
-        levels.append(_Level(prev_map, new_col, onehot_prev, onehot_new))
+        levels.append(
+            _Level(
+                prev_map,
+                new_col,
+                n_prev,
+                _segment_plan(new_col, dim),
+                _segment_plan(prev_map, n_prev),
+            )
+        )
         prev_lookup = {tuple(row): i for i, row in enumerate(uniq)}
 
     if nu == 1:
@@ -209,23 +293,9 @@ def sym_contraction_spec(lmax: int, nu_max: int, L_max: int) -> SymContractionSp
             if ent["values"].size == 0:
                 continue
             M = ent["M_idx"]
-            groups = tuple(
-                (int(m), np.nonzero(M == m)[0]) for m in np.unique(M)
-            )
-            nnz = ent["values"].size
-            reduce_M = np.zeros((nnz, 2 * L + 1))
-            reduce_M[np.arange(nnz), M] = ent["values"]
-            path_onehot = np.zeros((nnz, n_paths))
-            path_onehot[np.arange(nnz), ent["path_idx"]] = 1.0
-            dim = sh_dim(lmax)
-            scatters = []
-            for f in range(nu):
-                sc = np.zeros((nnz, dim))
-                sc[np.arange(nnz), ent["factor_idx"][:, f]] = 1.0
-                scatters.append(sc)
             levels, tuple_cols, V = _build_prefix_plan(
                 ent["factor_idx"], ent["path_idx"], M, ent["values"],
-                n_paths, L, dim,
+                n_paths, L, sh_dim(lmax),
             )
             blocks.append(
                 _BlockTable(
@@ -236,10 +306,6 @@ def sym_contraction_spec(lmax: int, nu_max: int, L_max: int) -> SymContractionSp
                     M,
                     ent["path_idx"],
                     ent["values"],
-                    groups,
-                    reduce_M,
-                    path_onehot,
-                    tuple(scatters),
                     levels,
                     tuple_cols,
                     V,
@@ -379,35 +445,47 @@ def _scatter_species(per_atom: np.ndarray, species: np.ndarray, n_species: int) 
 
 
 class _SymContractionOptimized(Function):
-    """Fused sparse sweep (the paper's Listing 1, vectorized in NumPy)."""
+    """Fused sparse sweep (the paper's Listing 1, vectorized in NumPy).
+
+    Runs in structure-major (transposed) layout: arrays are
+    ``(structure, N*K)`` so chain gathers are contiguous row copies and
+    gradient scatters are row-segment reductions over the precomputed
+    :class:`_SegmentPlan` index plans (see the module docstring).
+    """
 
     def forward(self, A, *weights, species: np.ndarray, spec: SymContractionSpec):
         _check_inputs(A, species, weights, spec)
         N, K = A.shape[0], A.shape[1]
-        A2 = A.reshape(N * K, A.shape[2])
+        NK = N * K
+        # Structure-major (transposed) layout: the structural axis leads,
+        # so every chain gather is a contiguous row copy and every scatter
+        # a row-segment reduction — the NumPy analogue of Listing 1's
+        # one-block-per-atom layout with warps over coupling structure.
+        A2T = np.ascontiguousarray(A.reshape(NK, A.shape[2]).T)  # (dim, NK)
         out = np.zeros((N, K, spec.out_dim), dtype=np.float64)
-        saved_products = []
+        saved_taken = []
         saved_G = []
         for w, block in zip(weights, spec.blocks):
+            P, M = block.n_paths, 2 * block.L + 1
             # Shared-prefix product chain: each distinct factor tuple is
             # evaluated exactly once (Listing 1's shared-memory reuse).
-            level_products = [np.take(A2, block.tuple_cols, axis=1)] if not block.levels else []
-            prev = A2
+            # The level products are kept for backward, which re-gathers
+            # operands with cheap contiguous row copies (saving both
+            # gathered operands instead would double the pinned memory).
+            products = []
+            prev = A2T
             for level in block.levels:
-                prev = np.take(prev, level.prev_map, axis=1) * np.take(
-                    A2, level.new_col, axis=1
-                )
-                level_products.append(prev)
-            prodT = level_products[-1]  # (N*K, n_tuples)
+                prev = prev[level.prev_map] * A2T[level.new_col]
+                products.append(prev)
+            prodT = prev if block.levels else A2T[block.tuple_cols]
             # One GEMM folds coefficients and reduces tuples -> (eta, M).
-            G = (prodT @ block.V).reshape(N * K, block.n_paths, 2 * block.L + 1)
-            wsel2 = w[species].reshape(N * K, block.n_paths)
+            G_T = (block.V.T @ prodT).reshape(P, M, NK)
+            wselT = np.ascontiguousarray(w[species].reshape(NK, P).T)
+            blk = np.einsum("pn,pmn->mn", wselT, G_T, optimize=True)
             base = block.L * block.L
-            out[:, :, base : base + 2 * block.L + 1] += np.einsum(
-                "np,npM->nM", wsel2, G, optimize=True
-            ).reshape(N, K, 2 * block.L + 1)
-            saved_products.append(level_products)
-            saved_G.append(G)
+            out[:, :, base : base + M] += blk.reshape(M, N, K).transpose(1, 2, 0)
+            saved_taken.append(products)
+            saved_G.append((G_T, wselT))
             record_kernel(
                 "sc_fused",
                 1,
@@ -419,45 +497,55 @@ class _SymContractionOptimized(Function):
                     + N * K * (2 * block.L + 1)
                 ),
             )
-        self.saved = (A, species, weights, spec, saved_products, saved_G)
+        self.saved = (A, species, weights, spec, A2T, saved_taken, saved_G)
         return out
 
     def backward(self, grad):
-        A, species, weights, spec, saved_products, saved_G = self.saved
+        A, species, weights, spec, A2T, saved_taken, saved_G = self.saved
         N, K = A.shape[0], A.shape[1]
-        A2 = A.reshape(N * K, A.shape[2])
-        gA2 = np.zeros_like(A2)
+        NK = N * K
+        gA2T = np.zeros_like(A2T)
         gws = [np.zeros_like(w) for w in weights]
+        # One species selection matrix shared by every block: the
+        # atoms -> species-rows reduction of each per-atom weight gradient
+        # becomes a single GEMM against it (replacing the per-block
+        # np.add.at scatters).
+        n_species = weights[0].shape[0]
+        sp_select = np.zeros((n_species, N))
+        sp_select[species, np.arange(N)] = 1.0
         for w_i, (w, block) in enumerate(zip(weights, spec.blocks)):
-            level_products = saved_products[w_i]
-            G = saved_G[w_i]
-            wsel2 = w[species].reshape(N * K, block.n_paths)
+            P, M = block.n_paths, 2 * block.L + 1
+            products = saved_taken[w_i]
+            G_T, wselT = saved_G[w_i]
             base = block.L * block.L
-            g_block = grad[:, :, base : base + 2 * block.L + 1].reshape(
-                N * K, 2 * block.L + 1
-            )
-            # dW: small einsum then scatter atoms -> species rows.
-            gw2 = np.einsum("nM,npM->np", g_block, G, optimize=True)
-            np.add.at(gws[w_i], species, gw2.reshape(N, K, block.n_paths))
-            # d(prodT): expand (eta, M) grads through the V GEMM.
-            gG = wsel2[:, :, None] * g_block[:, None, :]
-            g_cur = gG.reshape(N * K, -1) @ block.V.T  # (N*K, n_tuples)
-            # Walk the prefix chain backwards (product rule per level).
+            g_blockT = np.ascontiguousarray(
+                grad[:, :, base : base + M].reshape(NK, M).T
+            )  # (M, NK)
+            # dW: small einsum, then segment-reduce atoms -> species rows.
+            gw2 = np.einsum("mn,pmn->np", g_blockT, G_T, optimize=True)
+            gws[w_i][:] = (
+                sp_select @ gw2.reshape(N, K * P)
+            ).reshape(w.shape)
+            # d(prodT): expand (eta, M) grads through the V GEMM, reusing
+            # the species-gathered weights saved by forward.
+            gG_T = (wselT[:, None, :] * g_blockT[None, :, :]).reshape(P * M, NK)
+            g_cur = block.V @ gG_T  # (n_tuples, NK)
+            # Walk the prefix chain backwards (product rule per level);
+            # operand re-gathers are contiguous row copies off the saved
+            # products, and each scatter is a segment reduction over the
+            # level's precomputed plan.
             for d in range(len(block.levels) - 1, -1, -1):
                 level = block.levels[d]
-                prev = A2 if d == 0 else level_products[d - 1]
-                prev_taken = np.take(prev, level.prev_map, axis=1)
-                new_taken = np.take(A2, level.new_col, axis=1)
-                gA2 += (g_cur * prev_taken) @ level.onehot_new
-                g_cur = (g_cur * new_taken) @ level.onehot_prev
+                prev = A2T if d == 0 else products[d - 1]
+                level.new_plan.scatter_add(gA2T, g_cur * prev[level.prev_map])
+                g_cur = level.prev_plan.scatter(g_cur * A2T[level.new_col])
             if block.levels:
-                gA2 += g_cur  # depth-1 grads land on raw feature columns
+                gA2T += g_cur  # depth-1 grads land on raw feature rows
             else:
-                # nu == 1: products were direct column gathers.
-                sc = np.zeros((block.tuple_cols.size, A2.shape[1]))
-                sc[np.arange(block.tuple_cols.size), block.tuple_cols] = 1.0
-                gA2 += g_cur @ sc
-        return (gA2.reshape(A.shape), *gws)
+                # nu == 1: products were direct gathers of the (unique,
+                # sorted) tuple rows.
+                gA2T[block.tuple_cols] += g_cur
+        return (gA2T.T.reshape(A.shape), *gws)
 
 
 def symmetric_contraction_baseline(

@@ -54,7 +54,9 @@ class _SphericalHarmonicsOp(Function):
     """Real spherical harmonics of (normalized) edge vectors.
 
     Backward: central-difference Jacobian wrt the raw vectors (see module
-    docstring).  ``normalization='component'`` matches MACE/e3nn.
+    docstring), evaluated as ONE batched spherical-harmonics call over all
+    six (+/- eps per Cartesian axis) perturbed copies rather than six
+    separate passes.  ``normalization='component'`` matches MACE/e3nn.
     """
 
     EPS = 1e-5
@@ -65,15 +67,14 @@ class _SphericalHarmonicsOp(Function):
 
     def backward(self, grad):
         vec, lmax = self.saved
-        gvec = np.zeros_like(vec)
         eps = self.EPS
-        for d in range(3):
-            dv = np.zeros_like(vec)
-            dv[:, d] = eps
-            plus = spherical_harmonics(lmax, vec + dv, normalization="component")
-            minus = spherical_harmonics(lmax, vec - dv, normalization="component")
-            jac_d = (plus - minus) / (2.0 * eps)  # (E, sh_dim)
-            gvec[:, d] = np.einsum("em,em->e", grad, jac_d)
+        offsets = eps * np.eye(3)  # (3, 3), one row per perturbed axis
+        stacked = np.concatenate(
+            [vec[None, :, :] + offsets[:, None, :], vec[None, :, :] - offsets[:, None, :]]
+        )  # (6, E, 3)
+        sh = spherical_harmonics(lmax, stacked, normalization="component")
+        jac = (sh[:3] - sh[3:]) / (2.0 * eps)  # (3, E, sh_dim)
+        gvec = np.einsum("em,dem->ed", grad, jac)
         return (gvec,)
 
 

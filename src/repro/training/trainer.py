@@ -224,9 +224,25 @@ class Trainer:
         return float(np.mean(losses))
 
     def evaluate(self, graphs: Optional[Sequence[MolecularGraph]] = None) -> float:
-        """Weighted MSE on a validation set (default: training graphs)."""
-        graphs = list(graphs) if graphs is not None else self.graphs
-        batch = collate(graphs)
+        """Weighted MSE on a validation set (default: training graphs).
+
+        With a ``collate_cache`` attached, the default (training-set)
+        evaluation batch is memoized instead of re-collated on every
+        call: repeated ``evaluate()`` calls between epochs hit the cache,
+        and the key's geometry/label fingerprint invalidates the entry
+        automatically when any member graph is mutated or replaced in
+        place.  Explicitly passed validation sets are collated directly —
+        memoizing caller-constructed lists (often a fresh object per
+        call) would only churn the cache's bounded dataset registry; to
+        memoize a long-lived external validation set, query the cache
+        yourself with ``cache.get(val_graphs, range(len(val_graphs)))``.
+        """
+        if graphs is None:
+            graphs = self.graphs
+        if self.collate_cache is not None and graphs is self.graphs:
+            batch = self.collate_cache.get(graphs, range(len(graphs)))
+        else:
+            batch = collate(list(graphs))
         return self._batch_loss(batch).item()
 
     def freeze_representation(self) -> int:

@@ -233,6 +233,156 @@ class TestSymmetricContraction:
             symmetric_contraction_optimized(A, species, weights[:-1], SC_SPEC)
 
 
+class TestRandomizedEquivalence:
+    """Baseline vs optimized on randomized shapes, incl. degenerate caps."""
+
+    @pytest.mark.parametrize(
+        "l1max,l2max,l3max",
+        [(0, 0, 0), (1, 0, 1), (0, 1, 1), (3, 1, 2), (2, 2, 2)],
+    )
+    def test_channelwise_tp_shapes(self, l1max, l2max, l3max, rng):
+        table = channelwise_tp_table(l1max, l2max, l3max)
+        E, K = int(rng.integers(1, 9)), int(rng.integers(1, 5))
+        Y = Tensor(rng.standard_normal((E, sh_dim(l1max))), requires_grad=True)
+        h = Tensor(rng.standard_normal((E, K, sh_dim(l2max))), requires_grad=True)
+        R = Tensor(rng.standard_normal((E, K, table.num_paths)), requires_grad=True)
+        g = rng.standard_normal((E, K, sh_dim(l3max)))
+        grads = {}
+        for name, fn in (
+            ("base", channelwise_tp_baseline),
+            ("opt", channelwise_tp_optimized),
+        ):
+            for t in (Y, h, R):
+                t.zero_grad()
+            out = fn(Y, h, R, table)
+            out.backward(g)
+            grads[name] = (out.numpy(), [t.grad.copy() for t in (Y, h, R)])
+        np.testing.assert_allclose(grads["base"][0], grads["opt"][0], atol=1e-10)
+        for ga, gb in zip(grads["base"][1], grads["opt"][1]):
+            np.testing.assert_allclose(ga, gb, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "lmax,nu_max,L_max",
+        [(0, 1, 0), (1, 1, 1), (2, 1, 1), (1, 3, 1), (2, 3, 1)],
+    )
+    def test_symmetric_contraction_shapes(self, lmax, nu_max, L_max, rng):
+        spec = sym_contraction_spec(lmax, nu_max, L_max)
+        N, K, S = int(rng.integers(1, 7)), int(rng.integers(1, 4)), 3
+        A = Tensor(rng.standard_normal((N, K, sh_dim(lmax))), requires_grad=True)
+        species = rng.integers(0, S, N)
+        weights = [
+            Tensor(rng.standard_normal((S, K, p)) * 0.3, requires_grad=True)
+            for (_, _, p) in weight_layout(spec)
+        ]
+        g = rng.standard_normal((N, K, spec.out_dim))
+        grads = {}
+        for name, fn in (
+            ("base", symmetric_contraction_baseline),
+            ("opt", symmetric_contraction_optimized),
+        ):
+            for t in (A, *weights):
+                t.zero_grad()
+            out = fn(A, species, weights, spec)
+            out.backward(g)
+            grads[name] = (out.numpy(), [t.grad.copy() for t in (A, *weights)])
+        np.testing.assert_allclose(grads["base"][0], grads["opt"][0], atol=1e-10)
+        for ga, gb in zip(grads["base"][1], grads["opt"][1]):
+            np.testing.assert_allclose(ga, gb, atol=1e-10)
+
+    def test_gradcheck_degenerate_caps(self, rng):
+        """Gradcheck the vectorized kernels at the lmax=0 / nu=1 edge."""
+        table = channelwise_tp_table(0, 0, 0)
+        Y = Tensor(rng.standard_normal((2, 1)), requires_grad=True)
+        h = Tensor(rng.standard_normal((2, 2, 1)), requires_grad=True)
+        R = Tensor(rng.standard_normal((2, 2, table.num_paths)), requires_grad=True)
+        check_gradients(
+            lambda Y, h, R: (channelwise_tp_optimized(Y, h, R, table) ** 2.0).sum(),
+            [Y, h, R],
+        )
+        spec = sym_contraction_spec(1, 1, 1)
+        A = Tensor(rng.standard_normal((3, 2, sh_dim(1))), requires_grad=True)
+        species = rng.integers(0, 2, 3)
+        weights = [
+            Tensor(rng.standard_normal((2, 2, p)) * 0.3, requires_grad=True)
+            for (_, _, p) in weight_layout(spec)
+        ]
+        check_gradients(
+            lambda A, *ws: (
+                symmetric_contraction_optimized(A, species, ws, spec) ** 2.0
+            ).sum(),
+            [A, *weights],
+            atol=2e-5,
+        )
+
+
+class TestSegmentPlan:
+    """Both realizations of the precomputed segment reduction agree."""
+
+    def test_gemm_and_reduceat_realizations_match(self, rng):
+        from dataclasses import replace
+
+        from repro.kernels.symmetric_contraction import _segment_plan
+
+        rows = rng.integers(0, 7, 23)
+        plan = _segment_plan(rows, 7)
+        assert plan.select is not None  # tiny plans pick the dense GEMM
+        src = rng.standard_normal((rows.size, 11))
+        dense = plan.scatter(src)
+        sparse_plan = replace(plan, select=None)
+        np.testing.assert_allclose(dense, sparse_plan.scatter(src), atol=1e-12)
+        dst_a = rng.standard_normal((7, 11))
+        dst_b = dst_a.copy()
+        plan.scatter_add(dst_a, src)
+        sparse_plan.scatter_add(dst_b, src)
+        np.testing.assert_allclose(dst_a, dst_b, atol=1e-12)
+
+    def test_wide_plans_skip_dense_matrix(self, rng):
+        from repro.kernels.symmetric_contraction import (
+            _SELECT_DENSE_MAX,
+            _segment_plan,
+        )
+
+        n_dst = _SELECT_DENSE_MAX  # rows * n_dst overflows the budget
+        plan = _segment_plan(np.array([0, 1, 1, n_dst - 1]), n_dst)
+        assert plan.select is None
+        out = plan.scatter(np.ones((4, 2)))
+        assert out.shape == (n_dst, 2)
+        assert out[1, 0] == 2.0 and out[n_dst - 1, 0] == 1.0
+
+    def test_tp_backward_recompute_path_matches(self, rng, monkeypatch):
+        """Large batches recompute the pair gathers in backward instead of
+        pinning them; both paths must produce identical gradients."""
+        import repro.kernels.channelwise_tp as ctp
+
+        Y = Tensor(rng.standard_normal((5, sh_dim(2))), requires_grad=True)
+        h = Tensor(rng.standard_normal((5, 3, sh_dim(1))), requires_grad=True)
+        R = Tensor(rng.standard_normal((5, 3, TP_TABLE.num_paths)), requires_grad=True)
+        g = rng.standard_normal((5, 3, sh_dim(2)))
+        grads = {}
+        for name, cap in (("saved", 1 << 23), ("recompute", 0)):
+            monkeypatch.setattr(ctp, "_PAIR_SAVE_MAX", cap)
+            for t in (Y, h, R):
+                t.zero_grad()
+            channelwise_tp_optimized(Y, h, R, TP_TABLE).backward(g)
+            grads[name] = [t.grad.copy() for t in (Y, h, R)]
+        for ga, gb in zip(grads["saved"], grads["recompute"]):
+            np.testing.assert_array_equal(ga, gb)
+
+    def test_tp_pair_reduction_consistent_with_entries(self):
+        """reduce_y folds exactly the table's non-zero CG entries."""
+        rebuilt = np.zeros_like(TP_TABLE.reduce_y)
+        d3 = sh_dim(TP_TABLE.l3max)
+        n_paths = TP_TABLE.num_paths
+        pair_codes = TP_TABLE.pair_i2 * n_paths + TP_TABLE.pair_path
+        lookup = {int(c): i for i, c in enumerate(pair_codes)}
+        for i1, i2, i3, pid, val in zip(
+            TP_TABLE.i1, TP_TABLE.i2, TP_TABLE.i3, TP_TABLE.path_idx, TP_TABLE.values
+        ):
+            pair = lookup[int(i2) * n_paths + int(pid)]
+            rebuilt[i1, pair * d3 + i3] += val
+        np.testing.assert_allclose(rebuilt, TP_TABLE.reduce_y, atol=1e-14)
+
+
 class TestCounters:
     def test_nested_counting(self, rng):
         from repro.kernels import record_kernel

@@ -99,12 +99,55 @@ class TestCellListEquivalence:
             d = pos[ei[0]] + es - pos[ei[1]]
             assert np.all(np.einsum("ij,ij->i", d, d) <= cutoff * cutoff)
 
-    def test_small_cell_defers_to_brute_force(self):
+    def test_two_bin_cell_uses_grid_and_matches_brute_force(self):
         rng = np.random.default_rng(2)
-        cell = np.eye(3) * 4.0
+        cell = np.eye(3) * 4.0  # 2 bins per direction at cutoff 2
         pos = rng.uniform(0.0, 4.0, (30, 3))
         ei_c, es_c = cell_list_neighbor_list(pos, 2.0, cell, True)
         ei_b, es_b = brute_force_neighbor_list(pos, 2.0, cell, True)
+        assert _edge_set(ei_b, es_b) == _edge_set(ei_c, es_c)
+        # The minimum-image grid itself (not the brute-force fallback)
+        # must produce this edge set.
+        ei_g, es_g = _grid_periodic(pos, 2.0, cell)
+        assert _edge_set(ei_b, es_b) == _edge_set(ei_g, es_g)
+
+    @pytest.mark.parametrize("nbins", [(1, 1, 1), (1, 2, 3), (2, 2, 2)])
+    def test_minimum_image_grid_on_small_cells(self, nbins):
+        """1-2 bins per direction: the wrapped +-1 offsets must enumerate
+        exactly the in-range periodic images (incl. self-images)."""
+        rng = np.random.default_rng(3)
+        cutoff = 2.0
+        cell = np.diag([n * cutoff * 1.05 for n in nbins])
+        pos = rng.uniform(0.0, 1.0, (25, 3)) @ cell
+        ei_b, es_b = brute_force_neighbor_list(pos, cutoff, cell, True)
+        ei_g, es_g = _grid_periodic(pos, cutoff, cell)
+        assert _edge_set(ei_b, es_b) == _edge_set(ei_g, es_g)
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_minimum_image_grid_on_skewed_small_cells(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        cutoff = 2.0
+        base = np.diag(rng.uniform(1.2 * cutoff, 2.8 * cutoff, 3))
+        skew = rng.uniform(-0.15, 0.15, (3, 3))
+        np.fill_diagonal(skew, 0.0)
+        cell = base + skew * base.max()
+        from repro.graphs.neighborlist import _cell_widths
+
+        if np.any(_cell_widths(cell) < cutoff):
+            pytest.skip("skew made a width subcritical; fallback covers it")
+        pos = rng.uniform(0.0, 1.0, (20, 3)) @ cell
+        ei_b, es_b = brute_force_neighbor_list(pos, cutoff, cell, True)
+        ei_g, es_g = _grid_periodic(pos, cutoff, cell)
+        assert _edge_set(ei_b, es_b) == _edge_set(ei_g, es_g)
+
+    def test_subcritical_width_still_defers_to_brute_force(self):
+        """cutoff > cell width needs images beyond +-1; the dispatcher
+        must keep routing those cells to the brute-force enumeration."""
+        rng = np.random.default_rng(4)
+        cell = np.eye(3) * 3.0
+        pos = rng.uniform(0.0, 3.0, (12, 3))
+        ei_c, es_c = cell_list_neighbor_list(pos, 4.0, cell, True)
+        ei_b, es_b = brute_force_neighbor_list(pos, 4.0, cell, True)
         assert _edge_set(ei_b, es_b) == _edge_set(ei_c, es_c)
 
 
@@ -249,6 +292,102 @@ class TestCollateCache:
         # Re-querying either dataset still hits its own entry.
         assert cache.get(train, [1, 0]) is b_train
         assert cache.get(val, [1, 0]) is b_val
+
+    def test_inplace_position_mutation_is_never_stale(self):
+        """Active-learning loops mutate graphs in place; the geometry
+        fingerprint in the key must force re-collation, not serve the
+        pre-mutation batch."""
+        rng = np.random.default_rng(30)
+        graphs = _labeled_graphs(rng)
+        cache = CollateCache()
+        before = cache.get(graphs, [0, 2])
+        graphs[2].positions = graphs[2].positions + 0.37
+        build_neighbor_list(graphs[2], cutoff=3.0)
+        after = cache.get(graphs, [0, 2])
+        assert after is not before
+        np.testing.assert_allclose(
+            after.positions, collate([graphs[0], graphs[2]]).positions
+        )
+        # Untouched members of other bins still hit.
+        b1 = cache.get(graphs, [1, 3])
+        assert cache.get(graphs, [3, 1]) is b1
+
+    def test_inplace_cell_mutation_is_never_stale(self):
+        rng = np.random.default_rng(31)
+        cell = np.eye(3) * 8.0
+        graphs = [
+            MolecularGraph(
+                rng.uniform(0, 8, (6, 3)), np.full(6, 8), cell=cell.copy(),
+                pbc=True, energy=0.0,
+            )
+            for _ in range(3)
+        ]
+        for g in graphs:
+            build_neighbor_list(g, cutoff=3.0)
+        cache = CollateCache()
+        before = cache.get(graphs, [0, 1])
+        graphs[0].cell = np.eye(3) * 9.0
+        build_neighbor_list(graphs[0], cutoff=3.0)
+        assert cache.get(graphs, [0, 1]) is not before
+
+    def test_count_preserving_edge_rebuild_is_never_stale(self):
+        """A neighbor-list rebuild that swaps edges while keeping the
+        count (e.g. a cutoff change) must miss: the fingerprint
+        checksums edge content, not just the edge count."""
+        rng = np.random.default_rng(34)
+        graphs = _labeled_graphs(rng)
+        cache = CollateCache()
+        before = cache.get(graphs, [0, 1])
+        g = graphs[0]
+        ei = g.edge_index.copy()
+        assert ei.shape[1] >= 2
+        # Replace one edge with a (bogus) different pair, same count.
+        ei[:, 0] = (ei[:, 0] + 1) % g.n_atoms
+        g.edge_index = ei
+        after = cache.get(graphs, [0, 1])
+        assert after is not before
+        np.testing.assert_array_equal(
+            after.edge_index, collate([graphs[0], graphs[1]]).edge_index
+        )
+
+    def test_label_only_mutation_is_never_stale(self):
+        """Relabeling at fixed geometry (active-learning energy updates)
+        must also miss: batches carry the labels."""
+        rng = np.random.default_rng(33)
+        graphs = _labeled_graphs(rng)
+        cache = CollateCache()
+        before = cache.get(graphs, [0, 1])
+        graphs[1].energy = (graphs[1].energy or 0.0) + 1.5
+        after = cache.get(graphs, [0, 1])
+        assert after is not before
+        np.testing.assert_allclose(
+            after.energies, collate([graphs[0], graphs[1]]).energies
+        )
+        graphs[0].forces = rng.standard_normal(graphs[0].positions.shape)
+        assert cache.get(graphs, [0, 1]) is not after
+
+    def test_superseded_entries_are_evicted_not_accumulated(self):
+        """A mutation loop must not pile up dead batches: each
+        fingerprint-invalidated miss evicts the entry it supersedes."""
+        rng = np.random.default_rng(35)
+        graphs = _labeled_graphs(rng, count=4)
+        cache = CollateCache()
+        for _ in range(20):
+            graphs[0].positions += rng.normal(0.0, 0.01, graphs[0].positions.shape)
+            build_neighbor_list(graphs[0], cutoff=3.0)
+            cache.get(graphs, [0, 1])
+            cache.get(graphs, [2, 3])
+        stats = cache.stats()
+        assert stats["size"] == 2, stats  # one live entry per bin
+        assert stats["hits"] == 19  # the static bin kept hitting
+
+    def test_unchanged_geometry_still_hits(self):
+        rng = np.random.default_rng(32)
+        graphs = _labeled_graphs(rng)
+        cache = CollateCache()
+        b1 = cache.get(graphs, [0, 1], capacity=32)
+        assert cache.get(graphs, [1, 0], capacity=32) is b1
+        assert cache.stats()["hit_rate"] == 0.5
 
     def test_transient_datasets_are_bounded(self):
         """The dataset registry is bounded: old datasets (and their

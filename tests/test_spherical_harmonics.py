@@ -148,3 +148,85 @@ def test_rotation_about_z_only_mixes_same_abs_m(x, y, z):
         np.testing.assert_allclose(
             (Y1[sl] ** 2).sum(), (Y2[sl] ** 2).sum(), atol=1e-10
         )
+
+
+# -- regression against the pre-vectorization implementation --------------------------
+
+
+def _reference_legendre_p(lmax, x):
+    """The pre-vectorization per-(l, m) loop recursion, kept as the value
+    reference for the table-driven implementation."""
+    x = np.asarray(x, dtype=np.float64)
+    s = np.sqrt(np.clip(1.0 - x * x, 0.0, None))
+    out = np.zeros(x.shape + (lmax + 1, lmax + 1), dtype=np.float64)
+    out[..., 0, 0] = 1.0
+    for m in range(1, lmax + 1):
+        out[..., m, m] = (2 * m - 1) * s * out[..., m - 1, m - 1]
+    for m in range(0, lmax):
+        out[..., m + 1, m] = x * (2 * m + 1) * out[..., m, m]
+    for m in range(0, lmax + 1):
+        for l in range(m + 2, lmax + 1):
+            out[..., l, m] = (
+                x * (2 * l - 1) * out[..., l - 1, m]
+                - (l + m - 1) * out[..., l - 2, m]
+            ) / (l - m)
+    return out
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def _bench_kernels_module():
+    """Load benchmarks/bench_kernels.py, the single home of the pre-PR
+    loop-assembly reference (avoids a second drifting copy here)."""
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "bench_kernels.py"
+    spec = importlib.util.spec_from_file_location("bench_kernels_for_tests", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _reference_spherical_harmonics(lmax, vectors, normalization="integral"):
+    """The pre-vectorization per-(l, m) loop assembly (value reference).
+
+    Shared with the kernel benchmark; ``legendre_p``'s own bitwise
+    equivalence to the loop recursion is asserted separately above, so
+    composing the legacy assembly with the current ``legendre_p`` is an
+    exact reference.
+    """
+    return _bench_kernels_module().legacy_spherical_harmonics(
+        lmax, vectors, normalization
+    )
+
+
+class TestVectorizedRegression:
+    """The table-driven block-write implementation reproduces the loop
+    implementation bit for bit (same operations, different schedule)."""
+
+    @pytest.mark.parametrize("lmax", [0, 1, 2, 3, 5, 8])
+    def test_legendre_matches_reference(self, lmax, rng):
+        from repro.equivariant.spherical_harmonics import legendre_p
+
+        x = rng.uniform(-1.0, 1.0, 257)
+        np.testing.assert_array_equal(
+            legendre_p(lmax, x), _reference_legendre_p(lmax, x)
+        )
+
+    @pytest.mark.parametrize("lmax", [0, 1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("normalization", ["integral", "component"])
+    def test_harmonics_match_reference(self, lmax, normalization, rng):
+        v = rng.standard_normal((64, 3))
+        got = spherical_harmonics(lmax, v, normalization=normalization)
+        want = _reference_spherical_harmonics(lmax, v, normalization)
+        np.testing.assert_array_equal(got, want)
+
+    def test_harmonics_match_reference_batched(self, rng):
+        v = rng.standard_normal((3, 5, 3))
+        np.testing.assert_array_equal(
+            spherical_harmonics(3, v, normalization="component"),
+            _reference_spherical_harmonics(3, v, "component"),
+        )

@@ -87,6 +87,58 @@ class TestTrainer:
         loss = trainer.evaluate()
         assert np.isfinite(loss) and loss > 0
 
+    def test_evaluate_memoizes_through_collate_cache(self, labeled_graphs):
+        """With a collate cache attached, repeated default evaluate()
+        calls reuse one memoized batch (and agree with the uncached
+        path); explicit validation sets bypass the cache."""
+        from repro.graphs import CollateCache
+
+        cache = CollateCache()
+        model = MACE(CFG, seed=4)
+        cached = Trainer(model, labeled_graphs, collate_cache=cache)
+        plain = Trainer(MACE(CFG, seed=4), labeled_graphs)
+        l1 = cached.evaluate()
+        l2 = cached.evaluate()
+        assert l1 == l2
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+        np.testing.assert_allclose(l1, plain.evaluate(), rtol=1e-12)
+        # Explicit (caller-owned) validation sets are collated directly
+        # and must not register transient datasets in the cache.
+        val = list(labeled_graphs[:4])
+        cached.evaluate(val)
+        cached.evaluate(tuple(val))
+        assert cache.stats()["misses"] == 1 and len(cache._datasets) == 1
+        np.testing.assert_allclose(
+            cached.evaluate(val), plain.evaluate(val), rtol=1e-12
+        )
+
+    def test_evaluate_cache_invalidates_on_graph_replacement(self, labeled_graphs):
+        """Mutating a training graph in place must re-collate (the
+        fingerprint changes the key), not reuse the stale batch."""
+        import copy
+
+        from repro.graphs import CollateCache, build_neighbor_list
+
+        cache = CollateCache()
+        # Own copies: this test mutates graphs in place and the fixture
+        # is shared module-wide.
+        own = copy.deepcopy(list(labeled_graphs))
+        trainer = Trainer(MACE(CFG, seed=5), own, collate_cache=cache)
+        before = trainer.evaluate()
+        # Non-rigid perturbation (a rigid translation would leave the
+        # invariant energy — and therefore the loss — unchanged).
+        rng = np.random.default_rng(0)
+        target = trainer.graphs[1]
+        target.positions = target.positions + 0.15 * rng.standard_normal(
+            target.positions.shape
+        )
+        build_neighbor_list(target, cutoff=3.0)
+        after = trainer.evaluate()
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 2
+        fresh = Trainer(MACE(CFG, seed=5), trainer.graphs).evaluate()
+        np.testing.assert_allclose(after, fresh, rtol=1e-12)
+        assert after != before
+
     def test_ddp_step_equals_large_batch_gradient(self, labeled_graphs):
         """Averaging per-rank gradients must equal one step on the union
         batch when weighted equally (equivalence of simulated DDP)."""
