@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 test suite plus the pipeline and kernel smoke
-# benchmarks, so correctness *and* perf regressions in the graph pipeline
-# and the model-forward hot kernels are catchable from one command.
+# Repo check: tier-1 test suite plus the pipeline, kernel and serving
+# smoke benchmarks, so correctness *and* perf regressions in the graph
+# pipeline, the model-forward hot kernels and the serving scheduler are
+# catchable from one command.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -9,4 +10,5 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q
 python benchmarks/bench_pipeline.py --smoke
 python benchmarks/bench_kernels.py --smoke
+python benchmarks/bench_serving.py --smoke
 echo "check: OK"

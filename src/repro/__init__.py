@@ -19,7 +19,11 @@ Public API overview
   composite dataset spec (Table 3);
 * :mod:`repro.cluster` — the analytical multi-GPU (DDP) epoch simulator;
 * :mod:`repro.training` — the §5.2 training recipe;
-* :mod:`repro.experiments` — one harness per paper table/figure.
+* :mod:`repro.experiments` — one harness per paper table/figure;
+* :mod:`repro.serving` — the cost-model-driven batched inference engine:
+  dynamic micro-batching, replica scheduling (round-robin / least-loaded
+  vs. the paper's bin-packing applied online), a versioned model
+  registry with atomic hot swap, and latency-SLO benchmarks.
 """
 
 from .mace import MACE, MACEConfig

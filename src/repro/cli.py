@@ -12,6 +12,10 @@ Commands
     Strong-scaling simulation at chosen GPU counts.
 ``train``
     Train a small MACE on synthetic data and report the loss trajectory.
+``serve-bench``
+    Serve a synthetic inference trace through the batched engine and
+    compare scheduling policies (round-robin / least-loaded / cost-aware)
+    on tail latency, throughput and replica balance.
 """
 
 from __future__ import annotations
@@ -128,6 +132,78 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .cluster import A100, PAPER_MODEL
+    from .experiments.common import format_table
+    from .mace import MACE, MACEConfig
+    from .serving import build_request_pool, compare_policies, generate_trace
+
+    cfg = MACEConfig(
+        num_channels=args.channels, lmax_sh=2, l_atomic_basis=2, correlation=2
+    )
+    model = MACE(cfg, seed=args.seed)
+    pool = build_request_pool(args.pool, seed=args.seed, max_atoms=args.max_atoms)
+    trace = generate_trace(
+        pool, args.requests, rate=args.rate, process=args.process, seed=args.seed
+    )
+    gpu = replace(A100, saturation_tokens_fp32=args.saturation)
+    reports = compare_policies(
+        model,
+        pool,
+        trace,
+        policies=args.policies,
+        n_replicas=args.replicas,
+        max_batch_tokens=args.capacity,
+        max_wait=args.max_wait_ms * 1e-3,
+        workload_model=PAPER_MODEL,
+        gpu=gpu,
+        execute=args.execute,
+        slo_seconds=args.slo_ms * 1e-3,
+    )
+    print(
+        f"{args.process} trace: {trace.n_requests} requests over "
+        f"{trace.duration * 1e3:.0f} ms simulated, pool "
+        f"{min(g.n_atoms for g in pool)}-{max(g.n_atoms for g in pool)} atoms, "
+        f"{args.replicas} replicas, micro-batch budget {args.capacity} tokens, "
+        f"max wait {args.max_wait_ms:.1f} ms"
+    )
+    rows = []
+    for name, r in reports.items():
+        lat = r.latency
+        rows.append(
+            (
+                name,
+                f"{lat.p50 * 1e3:.2f}",
+                f"{lat.p95 * 1e3:.2f}",
+                f"{lat.p99 * 1e3:.2f}",
+                f"{r.throughput_rps:.0f}",
+                f"{r.utilization_imbalance:.3f}",
+                r.n_batches,
+                f"{r.mean_batch_fill:.0%}",
+                f"{r.slo_attainment:.1%}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "policy",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "req/s",
+                "imbalance",
+                "batches",
+                "fill",
+                f"SLO<{args.slo_ms:.0f}ms",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -161,6 +237,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument("--output", type=str, default=None)
     p_train.set_defaults(fn=_cmd_train)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="compare serving schedulers on a synthetic inference trace",
+        description=(
+            "Serve a synthetic single-molecule inference trace through the "
+            "batched engine (repro.serving) and compare scheduling policies. "
+            "Timing is simulated with the paper's analytical cost model, so "
+            "runs are deterministic for a given seed; --execute additionally "
+            "runs the real NumPy forward per micro-batch."
+        ),
+    )
+    p_serve.add_argument(
+        "--requests", type=int, default=400, help="trace length (default 400)"
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=3000.0, help="mean arrival rate, req/s"
+    )
+    p_serve.add_argument(
+        "--process",
+        choices=["poisson", "bursty", "diurnal"],
+        default="bursty",
+        help="arrival process (default bursty)",
+    )
+    p_serve.add_argument(
+        "--replicas", type=int, default=4, help="simulated replica count"
+    )
+    p_serve.add_argument(
+        "--capacity",
+        type=int,
+        default=384,
+        help="micro-batch token budget (default 384)",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=10.0,
+        help="admission deadline in milliseconds (default 10)",
+    )
+    p_serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=100.0,
+        help="latency SLO for the attainment column (default 100 ms)",
+    )
+    p_serve.add_argument(
+        "--pool", type=int, default=24, help="molecule pool size (default 24)"
+    )
+    p_serve.add_argument(
+        "--max-atoms", type=int, default=72, help="largest pool molecule"
+    )
+    p_serve.add_argument(
+        "--channels", type=int, default=8, help="served model channel count"
+    )
+    p_serve.add_argument(
+        "--saturation",
+        type=int,
+        default=64,
+        help="GPU saturation tokens for forward-only serving (default 64)",
+    )
+    p_serve.add_argument(
+        "--policies",
+        nargs="+",
+        default=["round-robin", "least-loaded", "cost-aware"],
+        help="schedulers to compare",
+    )
+    p_serve.add_argument(
+        "--execute",
+        action="store_true",
+        help="run the real NumPy forward per micro-batch (slower)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(fn=_cmd_serve_bench)
     return parser
 
 

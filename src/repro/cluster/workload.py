@@ -17,7 +17,7 @@ evaluating the roofline at ``max(tokens, saturation)`` effective tokens.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from ..equivariant.spherical_harmonics import sh_dim
 from ..kernels.channelwise_tp import channelwise_tp_table
 from ..kernels.symmetric_contraction import sym_contraction_spec
 from .gpu import GPUSpec, KernelWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mace -> kernels)
+    from ..mace.config import MACEConfig
 
 __all__ = ["MACEWorkloadModel", "PAPER_MODEL"]
 
@@ -79,6 +82,28 @@ class MACEWorkloadModel:
     dtype_bytes: int = 4
     baseline_dense_efficiency: float = 0.47
 
+    @classmethod
+    def from_config(cls, cfg: "MACEConfig", dtype_bytes: int = 8) -> "MACEWorkloadModel":
+        """Cost model matching a concrete :class:`repro.mace.MACEConfig`.
+
+        This is how the serving layer (:mod:`repro.serving`) keeps its
+        replica timing honest: the analytical roofline is evaluated with
+        the *served* model's channel count and equivariance structure, not
+        the paper's production configuration.  ``dtype_bytes`` defaults to
+        8 because the NumPy reference implementation runs Float64.
+        """
+        return cls(
+            channels=cfg.num_channels,
+            lmax_sh=cfg.lmax_sh,
+            l_hidden=cfg.l_hidden,
+            l_atomic_basis=cfg.l_atomic_basis,
+            correlation=cfg.correlation,
+            n_layers=cfg.n_layers,
+            n_radial_basis=cfg.n_radial_basis,
+            radial_hidden=cfg.radial_mlp_hidden[0] if cfg.radial_mlp_hidden else 64,
+            dtype_bytes=dtype_bytes,
+        )
+
     # -- table-derived structural constants --------------------------------------
 
     def _tables(self):
@@ -107,9 +132,13 @@ class MACEWorkloadModel:
     # -- workload assembly ---------------------------------------------------------
 
     def step_workload(
-        self, tokens: np.ndarray, edges: np.ndarray, variant: str
+        self,
+        tokens: np.ndarray,
+        edges: np.ndarray,
+        variant: str,
+        include_backward: bool = True,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Vectorized (launches, flops, bytes) of a fwd+bwd step per batch.
+        """Vectorized (launches, flops, bytes) of one step per batch.
 
         Parameters
         ----------
@@ -117,6 +146,10 @@ class MACEWorkloadModel:
             Arrays of per-batch atom and edge counts.
         variant:
             ``"baseline"`` or ``"optimized"``.
+        include_backward:
+            ``True`` (default) profiles a training step (forward +
+            backward); ``False`` profiles inference (forward only — the
+            serving regime, where no tape is built).
 
         Returns
         -------
@@ -179,9 +212,10 @@ class MACEWorkloadModel:
             )
             launches += self.n_layers * len(sc.blocks)
 
-        flops *= 1.0 + _BACKWARD_FACTOR
-        bytes_ *= 1.0 + _BACKWARD_FACTOR
-        launches *= 2.0  # backward launches mirror forward
+        if include_backward:
+            flops *= 1.0 + _BACKWARD_FACTOR
+            bytes_ *= 1.0 + _BACKWARD_FACTOR
+            launches *= 2.0  # backward launches mirror forward
         return (
             np.full_like(n, launches),
             flops,
@@ -200,9 +234,37 @@ class MACEWorkloadModel:
         Applies the sub-saturation flattening: work below the device's
         saturation token count runs at the saturation-point time.
         """
+        return self._device_times(gpu, tokens, edges, variant, include_backward=True)
+
+    def inference_times(
+        self,
+        gpu: GPUSpec,
+        tokens: np.ndarray,
+        edges: np.ndarray,
+        variant: str = "optimized",
+    ) -> np.ndarray:
+        """Vectorized *forward-only* execution time (seconds) per batch.
+
+        The serving path (:mod:`repro.serving`) times replica micro-batches
+        with this: same roofline and sub-saturation flattening as
+        :meth:`step_times`, minus the backward pass that only training
+        pays for.
+        """
+        return self._device_times(gpu, tokens, edges, variant, include_backward=False)
+
+    def _device_times(
+        self,
+        gpu: GPUSpec,
+        tokens: np.ndarray,
+        edges: np.ndarray,
+        variant: str,
+        include_backward: bool,
+    ) -> np.ndarray:
         n = np.maximum(np.asarray(tokens, dtype=np.float64), 1.0)
         e = np.asarray(edges, dtype=np.float64)
-        launches, flops, bytes_ = self.step_workload(n, e, variant)
+        launches, flops, bytes_ = self.step_workload(
+            n, e, variant, include_backward=include_backward
+        )
         sat = (
             gpu.saturation_tokens_fp64
             if self.dtype_bytes == 8

@@ -63,6 +63,15 @@ __all__ = [
 
 DEFAULT_SKIN = 0.6  # Angstrom; a typical MD Verlet-skin radius
 
+# Auto-skin tuning: aim for roughly this many queries between full grid
+# rebuilds.  A rebuild triggers when the max drift exceeds skin/2, and a
+# system drifting d per step rebuilds every ~skin / (2 d) steps, so the
+# tuned skin is 2 * target * d (clamped; see NeighborListCache).
+_AUTO_SKIN_TARGET_STEPS = 20
+_AUTO_SKIN_MIN = 0.1
+_AUTO_SKIN_MAX = 2.0
+_AUTO_SKIN_EMA = 0.3  # weight of the newest per-step displacement sample
+
 
 def _geometry_fingerprint(graph: MolecularGraph) -> bytes:
     """Digest of a graph's geometry, labels and edge content.
@@ -116,7 +125,14 @@ class NeighborListCache:
     skin:
         Extra candidate radius.  Larger skins rebuild less often but
         filter more candidate edges per query; 0 disables caching (every
-        query is a full rebuild).
+        query is a full rebuild).  Pass ``"auto"`` to let the cache tune
+        the skin itself from the observed per-query maximum displacement:
+        hot (fast-moving) systems get a larger skin so rebuilds stay
+        roughly ``_AUTO_SKIN_TARGET_STEPS`` queries apart, cold systems
+        get a small skin so each query filters fewer candidate edges.
+        The tuned radius is re-derived at every rebuild from an
+        exponential moving average of the per-step drift, clamped to
+        ``[0.1, 2.0]`` Angstrom.
     method:
         Neighbor-list method forwarded to
         :func:`~repro.graphs.neighborlist.build_neighbor_list`.
@@ -126,16 +142,23 @@ class NeighborListCache:
     queries, rebuilds:
         Statistics counters; ``rebuilds <= queries`` and the gap is the
         work the skin saved.
+    skin:
+        The current skin radius (mutates between rebuilds in auto mode).
     """
 
     def __init__(
         self,
         cutoff: float = DEFAULT_CUTOFF,
-        skin: float = DEFAULT_SKIN,
+        skin=DEFAULT_SKIN,
         method: str = "auto",
     ) -> None:
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")
+        self.auto_skin = skin == "auto"
+        if self.auto_skin:
+            skin = DEFAULT_SKIN
+        if not isinstance(skin, (int, float)):
+            raise ValueError("skin must be a number or 'auto'")
         if skin < 0:
             raise ValueError("skin must be non-negative")
         self.cutoff = float(cutoff)
@@ -149,6 +172,8 @@ class NeighborListCache:
         self._ref_pbc: bool = False
         self._cand_index: Optional[np.ndarray] = None
         self._cand_shift: Optional[np.ndarray] = None
+        self._prev_positions: Optional[np.ndarray] = None
+        self._step_drift_ema: Optional[float] = None
 
     # -- invalidation ---------------------------------------------------------------
 
@@ -173,13 +198,41 @@ class NeighborListCache:
 
     # -- query ----------------------------------------------------------------------
 
+    def _observe_drift(self, graph: MolecularGraph) -> None:
+        """Update the per-query displacement EMA (auto-skin mode)."""
+        prev = self._prev_positions
+        if prev is not None and prev.shape == graph.positions.shape:
+            disp2 = np.einsum(
+                "ij,ij->i", graph.positions - prev, graph.positions - prev
+            )
+            step = float(np.sqrt(disp2.max(initial=0.0)))
+            if self._step_drift_ema is None:
+                self._step_drift_ema = step
+            else:
+                self._step_drift_ema = (
+                    _AUTO_SKIN_EMA * step
+                    + (1.0 - _AUTO_SKIN_EMA) * self._step_drift_ema
+                )
+        self._prev_positions = graph.positions.copy()
+
+    def _retune_skin(self) -> None:
+        """Pick the skin for the next build window from the observed drift."""
+        if self._step_drift_ema is None:
+            return  # nothing observed yet; keep the current skin
+        tuned = 2.0 * _AUTO_SKIN_TARGET_STEPS * self._step_drift_ema
+        self.skin = float(np.clip(tuned, _AUTO_SKIN_MIN, _AUTO_SKIN_MAX))
+
     def update(self, graph: MolecularGraph) -> bool:
         """Attach exact-``cutoff`` edges to ``graph``; returns whether a
         full rebuild was performed (False = cached candidates reused)."""
         self.queries += 1
+        if self.auto_skin:
+            self._observe_drift(graph)
         rebuilt = self._needs_rebuild(graph)
         if rebuilt:
             self.rebuilds += 1
+            if self.auto_skin:
+                self._retune_skin()
             build_neighbor_list(
                 graph, cutoff=self.cutoff + self.skin, method=self.method
             )

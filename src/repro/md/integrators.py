@@ -112,7 +112,10 @@ class VelocityVerlet:
         through a :class:`repro.graphs.NeighborListCache` *every* step —
         exact edges always, full grid rebuilds only when an atom has
         drifted more than ``skin / 2`` — and ``rebuild_every`` is
-        ignored.  0 (default) keeps the legacy fixed-interval rebuild.
+        ignored.  ``"auto"`` additionally lets the cache tune the skin
+        from the observed per-step displacement (hot trajectories get a
+        larger skin).  0 (default) keeps the legacy fixed-interval
+        rebuild.
     seed:
         RNG seed for initial velocities and the thermostat noise.
     """
@@ -126,7 +129,7 @@ class VelocityVerlet:
         target_temperature: float = 300.0,
         cutoff: float = DEFAULT_CUTOFF,
         rebuild_every: int = 5,
-        skin: float = 0.0,
+        skin=0.0,
         seed: int = 0,
     ) -> None:
         if timestep_fs <= 0:
@@ -140,10 +143,15 @@ class VelocityVerlet:
         self.target_temperature = target_temperature
         self.cutoff = cutoff
         self.rebuild_every = max(int(rebuild_every), 1)
-        if skin < 0:
-            raise ValueError("skin must be non-negative")
+        if skin != "auto":
+            if not isinstance(skin, (int, float)):
+                raise ValueError("skin must be a number or 'auto'")
+            if skin < 0:
+                raise ValueError("skin must be non-negative")
         self.neighbor_cache = (
-            NeighborListCache(cutoff, skin) if skin > 0 else None
+            NeighborListCache(cutoff, skin)
+            if skin == "auto" or skin > 0
+            else None
         )
         self.rng = np.random.default_rng(seed)
         self.masses = _masses(graph.species)

@@ -3,11 +3,20 @@
 Stores the full parameter state plus the hyperparameter configuration so a
 checkpoint is self-describing — ``load_model(path)`` reconstructs the model
 without the caller knowing its architecture.
+
+Writes are *atomic*: the archive is assembled in a temporary file in the
+destination directory and moved into place with :func:`os.replace`, so a
+crash mid-save can never leave a truncated checkpoint at the target path —
+a reader (in particular the :class:`repro.serving.ModelRegistry`, which
+loads checkpoints while traffic is being served) sees either the complete
+old file or the complete new one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Union
@@ -25,7 +34,11 @@ _VERSION = 1
 
 
 def save_model(model: MACE, path: Union[str, Path]) -> Path:
-    """Write parameters + config to a compressed ``.npz`` checkpoint."""
+    """Write parameters + config to a compressed ``.npz`` checkpoint.
+
+    The write is atomic: either the complete checkpoint lands at ``path``
+    or ``path`` is left untouched (see the module docstring).
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -37,7 +50,28 @@ def save_model(model: MACE, path: Union[str, Path]) -> Path:
         json.dumps(cfg).encode("utf-8"), dtype=np.uint8
     )
     payload[_VERSION_KEY] = np.array([_VERSION])
-    np.savez_compressed(path, **payload)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            # savez on an open file handle writes exactly there (no implicit
+            # suffix appending, which a temp *path* would suffer).
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+            # mkstemp creates 0600; give the checkpoint the umask-default
+            # mode a direct write would have had.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.fchmod(fh.fileno(), 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -1,0 +1,382 @@
+"""Cost-model-driven batched inference engine.
+
+The serving composition of the paper's ingredients: single-molecule
+energy requests arrive over time, the engine packs them into dynamic
+micro-batches under a token/edge budget and a max-wait deadline (batch
+assembly goes through :class:`repro.graphs.CollateCache`, so hot
+molecules are collated once), and a pluggable scheduler
+(:mod:`repro.serving.scheduler`) routes the micro-batches across a pool
+of simulated replicas whose step time comes from the same analytical
+cost model the paper uses to balance training workloads —
+:meth:`MACEWorkloadModel.inference_times` rooflines on a
+:class:`~repro.cluster.gpu.GPUSpec`, plus the modeled host collate cost
+and, optionally, the measured wall-time of the real NumPy forward.
+
+Numerics and timing are decoupled: with ``execute=True`` every dispatched
+micro-batch runs the real model forward and each request's energy is
+returned in its :class:`~repro.serving.metrics.RequestRecord` (batched
+predictions match unbatched single-graph predictions to 1e-10 — the
+block-diagonal batch keeps every graph an isolated component); with
+``execute=False`` the engine is a pure discrete-event simulator, which is
+what the scheduler benchmarks use.
+"""
+
+from __future__ import annotations
+
+import math
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.gpu import A100, GPUSpec
+from ..cluster.workload import MACEWorkloadModel
+from ..graphs.batch import collate
+from ..graphs.molecular_graph import MolecularGraph
+from ..graphs.neighborlist import build_neighbor_list
+from ..graphs.pipeline import CollateCache
+from ..mace import MACE
+from .metrics import RequestRecord, ServingReport
+from .replica import Replica, ServiceModel
+from .scheduler import Scheduler, make_scheduler
+from .trace import TraceRequest, WorkloadTrace
+
+__all__ = ["InferenceEngine", "compare_policies"]
+
+
+class InferenceEngine:
+    """Batched molecule-inference engine over simulated replicas.
+
+    Parameters
+    ----------
+    model:
+        The served :class:`repro.mace.MACE`; swap it mid-traffic with
+        :meth:`swap_model` / :meth:`deploy`.
+    pool:
+        The molecule population requests refer to by index (see
+        :mod:`repro.serving.trace`).  Graphs missing neighbor lists get
+        one built at the model's cutoff.
+    n_replicas:
+        Simulated serving devices.
+    scheduler:
+        Policy name (``"round-robin"``, ``"least-loaded"``,
+        ``"cost-aware"``) or a :class:`~repro.serving.scheduler.Scheduler`.
+    max_batch_tokens / max_batch_edges:
+        Micro-batch budgets; every request must fit the token budget
+        alone.  ``max_batch_edges=None`` leaves edges uncapped.
+    max_wait:
+        Admission deadline in seconds: a request is scheduled no later
+        than ``arrival + max_wait`` — the latency/throughput knob of
+        every batching server.
+    flush_window_tokens:
+        Token size of the admission window; a flush also triggers when
+        pending work would exceed it.  Defaults to one ``max_batch_tokens``
+        budget per replica, so each flush can feed the whole pool (and
+        the cost-aware packer gets a window worth balancing).
+    gpu, workload_model, variant:
+        Replica timing model.  ``workload_model`` defaults to
+        :meth:`MACEWorkloadModel.from_config` of the served model so the
+        roofline matches what is actually being run; ``variant`` defaults
+        to the model config's kernel variant.
+    collate_cache:
+        Micro-batch assembly cache (default: a private
+        :class:`~repro.graphs.CollateCache`); repeated compositions of
+        hot molecules are collated once.
+    execute:
+        Run the real NumPy forward per micro-batch and fill per-request
+        energies (True), or simulate timing only (False).
+    charge_host_forward:
+        With ``execute=True``, add the *measured* host forward wall-time
+        to the simulated service time (makes reports hardware-dependent;
+        off by default so benchmarks stay deterministic).
+    slo_seconds:
+        Optional latency SLO recorded on reports (attainment fraction).
+    """
+
+    def __init__(
+        self,
+        model: MACE,
+        pool: Sequence[MolecularGraph],
+        n_replicas: int = 4,
+        scheduler="cost-aware",
+        max_batch_tokens: int = 512,
+        max_batch_edges: Optional[int] = None,
+        max_wait: float = 5e-3,
+        flush_window_tokens: Optional[int] = None,
+        gpu: GPUSpec = A100,
+        workload_model: Optional[MACEWorkloadModel] = None,
+        variant: Optional[str] = None,
+        collate_cache: Optional[CollateCache] = None,
+        execute: bool = True,
+        charge_host_forward: bool = False,
+        slo_seconds: Optional[float] = None,
+    ) -> None:
+        if n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        if max_batch_tokens <= 0:
+            raise ValueError("max_batch_tokens must be positive")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.model = model
+        self.model_version = 0
+        self.pool = pool if isinstance(pool, list) else list(pool)
+        for g in self.pool:
+            if not g.has_edges:
+                build_neighbor_list(g, cutoff=model.cfg.cutoff)
+        self.replicas = [Replica(i) for i in range(n_replicas)]
+        self.scheduler: Scheduler = make_scheduler(scheduler)
+        self.max_batch_tokens = int(max_batch_tokens)
+        self.max_batch_edges = (
+            None if max_batch_edges is None else int(max_batch_edges)
+        )
+        self.max_wait = float(max_wait)
+        self.flush_window_tokens = (
+            n_replicas * self.max_batch_tokens
+            if flush_window_tokens is None
+            else int(flush_window_tokens)
+        )
+        if self.flush_window_tokens < self.max_batch_tokens:
+            raise ValueError(
+                "flush_window_tokens must be at least max_batch_tokens"
+            )
+        self.service_model = ServiceModel(
+            workload_model=(
+                workload_model
+                if workload_model is not None
+                else MACEWorkloadModel.from_config(model.cfg)
+            ),
+            gpu=gpu,
+            variant=variant if variant is not None else model.cfg.kernel_variant,
+        )
+        self.collate_cache = (
+            collate_cache if collate_cache is not None else CollateCache()
+        )
+        self.execute = execute
+        self.charge_host_forward = charge_host_forward
+        self.slo_seconds = slo_seconds
+
+    # -- model management ---------------------------------------------------------
+
+    def swap_model(self, model: MACE) -> int:
+        """Atomically swap the served model; returns the new version.
+
+        The swap is a single reference assignment between micro-batches:
+        every batch is computed entirely by one model, never a mix.  The
+        collate cache holds *inputs* (batches), not predictions, so no
+        invalidation is needed.
+        """
+        if model.cfg.species != self.model.cfg.species:
+            raise ValueError(
+                "hot-swap model supports different species than the pool "
+                "was admitted under"
+            )
+        self.model = model
+        self.model_version += 1
+        return self.model_version
+
+    def deploy(self, registry, name: str, version: Optional[int] = None) -> int:
+        """Warm-load a checkpoint from a registry and hot-swap to it.
+
+        Returns the *registry* version deployed (not the engine's swap
+        counter).
+        """
+        model, version = registry.load(name, version, with_version=True)
+        self.swap_model(model)
+        return version
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, graphs: Sequence[MolecularGraph]) -> np.ndarray:
+        """Synchronous batched energies for ``graphs`` (input order kept).
+
+        The real forward on one block-diagonal batch — the numerics the
+        simulated serve path produces, without the clock.
+        """
+        graphs = list(graphs)
+        for g in graphs:
+            if not g.has_edges:
+                build_neighbor_list(g, cutoff=self.model.cfg.cutoff)
+        return self.model.predict_energy(collate(graphs))
+
+    def estimate_service(self, tokens: int, edges: int) -> float:
+        """Predicted service seconds of a micro-batch (scheduler costing).
+
+        Deliberately assumes a collate-cache *miss*: schedulers cost the
+        pessimistic path, execution charges the true hit/miss.
+        """
+        return self.service_model.batch_seconds(tokens, edges, cache_hit=False)
+
+    # -- serving ------------------------------------------------------------------
+
+    def serve(
+        self,
+        trace: WorkloadTrace,
+        swaps: Optional[Sequence[Tuple[float, MACE]]] = None,
+    ) -> ServingReport:
+        """Run the trace through the engine; returns the full report.
+
+        ``swaps`` is an optional list of ``(time, model)`` hot-swap
+        events applied at the first flush at-or-after each time — the
+        mid-traffic deployment path.
+        """
+        reqs = trace.requests
+        last = -math.inf
+        for r in reqs:
+            if r.arrival < last:
+                raise ValueError("trace is not sorted by arrival time")
+            last = r.arrival
+            if r.tokens > self.max_batch_tokens:
+                raise ValueError(
+                    f"request {r.req_id} has {r.tokens} tokens, over the "
+                    f"{self.max_batch_tokens}-token micro-batch budget"
+                )
+            if self.max_batch_edges is not None and r.edges > self.max_batch_edges:
+                raise ValueError(
+                    f"request {r.req_id} has {r.edges} edges, over the "
+                    f"{self.max_batch_edges}-edge micro-batch budget"
+                )
+            if not 0 <= r.graph_id < len(self.pool):
+                raise ValueError(f"request {r.req_id} references unknown graph")
+        for rep in self.replicas:
+            rep.reset()
+        self.scheduler.reset()
+        swap_events = sorted(swaps or [], key=lambda ev: ev[0])
+        hits0, misses0 = self.collate_cache.hits, self.collate_cache.misses
+
+        records: List[RequestRecord] = []
+        batch_tokens: List[int] = []
+        state = {"swap_idx": 0, "batch_id": 0, "host_forward": 0.0}
+
+        def flush(pending: List[TraceRequest], now: float) -> None:
+            while (
+                state["swap_idx"] < len(swap_events)
+                and swap_events[state["swap_idx"]][0] <= now
+            ):
+                self.swap_model(swap_events[state["swap_idx"]][1])
+                state["swap_idx"] += 1
+            if not pending:
+                return
+            plans = self.scheduler.plan(pending, now, self.replicas, self)
+            planned = sum(len(batch) for batch, _ in plans)
+            if planned != len(pending):
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} planned {planned} of "
+                    f"{len(pending)} pending requests"
+                )
+            for batch, j in plans:
+                tokens = sum(r.tokens for r in batch)
+                edges = sum(r.edges for r in batch)
+                energies: Optional[np.ndarray] = None
+                cache_hit = False
+                forward_dt = 0.0
+                if self.execute:
+                    comp = [r.graph_id for r in batch]
+                    h_before = self.collate_cache.hits
+                    gb = self.collate_cache.get(
+                        self.pool, comp, capacity=self.max_batch_tokens
+                    )
+                    cache_hit = self.collate_cache.hits > h_before
+                    t0 = perf_counter()
+                    energies = self.model.predict_energy(gb)
+                    forward_dt = perf_counter() - t0
+                    state["host_forward"] += forward_dt
+                service = self.service_model.batch_seconds(
+                    tokens, edges, cache_hit=cache_hit
+                )
+                if self.charge_host_forward:
+                    service += forward_dt
+                start, finish = self.replicas[j].dispatch(
+                    now, service, len(batch), tokens
+                )
+                # The cache collates members in sorted-graph_id order;
+                # energies[pos] belongs to the pos-th smallest graph_id.
+                order = sorted(range(len(batch)), key=lambda k: batch[k].graph_id)
+                for pos, k in enumerate(order):
+                    r = batch[k]
+                    records.append(
+                        RequestRecord(
+                            req_id=r.req_id,
+                            graph_id=r.graph_id,
+                            arrival=r.arrival,
+                            dispatch=start,
+                            finish=finish,
+                            replica=j,
+                            batch_id=state["batch_id"],
+                            energy=(
+                                None if energies is None else float(energies[pos])
+                            ),
+                        )
+                    )
+                batch_tokens.append(tokens)
+                state["batch_id"] += 1
+
+        pending: List[TraceRequest] = []
+        pending_tokens = 0
+        queue_peak = 0
+        i = 0
+        while i < len(reqs) or pending:
+            deadline = (
+                pending[0].arrival + self.max_wait if pending else math.inf
+            )
+            next_arrival = reqs[i].arrival if i < len(reqs) else math.inf
+            if i < len(reqs) and next_arrival <= deadline:
+                r = reqs[i]
+                if pending and pending_tokens + r.tokens > self.flush_window_tokens:
+                    # Window overflow observed at this arrival: flush the
+                    # backlog now, then admit the newcomer.
+                    flush(pending, r.arrival)
+                    pending, pending_tokens = [], 0
+                pending.append(r)
+                pending_tokens += r.tokens
+                queue_peak = max(queue_peak, len(pending))
+                i += 1
+            else:
+                flush(pending, deadline)
+                pending, pending_tokens = [], 0
+
+        records.sort(key=lambda rec: rec.req_id)
+        makespan = max((rec.finish for rec in records), default=0.0)
+        return ServingReport(
+            policy=self.scheduler.name,
+            records=records,
+            replica_busy=np.array([rep.busy_seconds for rep in self.replicas]),
+            makespan=makespan,
+            batch_tokens=batch_tokens,
+            batch_capacity=self.max_batch_tokens,
+            queue_depth_peak=queue_peak,
+            host_forward_seconds=state["host_forward"],
+            collate_hits=self.collate_cache.hits - hits0,
+            collate_misses=self.collate_cache.misses - misses0,
+            slo_seconds=self.slo_seconds,
+        )
+
+
+def compare_policies(
+    model: MACE,
+    pool: Sequence[MolecularGraph],
+    trace: WorkloadTrace,
+    policies: Sequence[str] = ("round-robin", "least-loaded", "cost-aware"),
+    **engine_kwargs,
+) -> Dict[str, ServingReport]:
+    """Serve one trace under several policies on identical fresh engines.
+
+    Every engine gets its *own* collate cache: a shared cache would let
+    hits paid for by an earlier policy cheapen the modeled host collate
+    time of a later one, biasing the comparison by serve order.  With
+    identical budgets, replica counts and (policy-independent)
+    admission/flush logic, the reports therefore differ only by batching
+    composition and placement.  Returns ``{policy: report}`` in the
+    order given.
+    """
+    pool = pool if isinstance(pool, list) else list(pool)
+    reports: Dict[str, ServingReport] = {}
+    for policy in policies:
+        engine = InferenceEngine(
+            model,
+            pool,
+            scheduler=policy,
+            collate_cache=CollateCache(),
+            **engine_kwargs,
+        )
+        reports[policy] = engine.serve(trace)
+    return reports

@@ -1,0 +1,180 @@
+"""Serving-side quality metrics: latency percentiles, throughput, balance.
+
+The serving analogue of :mod:`repro.distribution.metrics`: where training
+cares about per-epoch straggler factors, serving cares about the tail of
+the per-request latency distribution (p95/p99 against an SLO) and about
+how evenly the replica pool shares the offered load — the same imbalance
+the paper's bin packer minimizes, measured in busy-seconds instead of
+tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["LatencyStats", "RequestRecord", "ServingReport"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_latencies(cls, latencies: np.ndarray) -> "LatencyStats":
+        lat = np.asarray(latencies, dtype=np.float64)
+        if lat.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
+        return cls(
+            count=int(lat.size),
+            mean=float(lat.mean()),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
+            max=float(lat.max()),
+        )
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one served request on the simulation clock.
+
+    ``energy`` is filled only when the engine executes the real NumPy
+    forward (``execute=True``); timing-only simulations leave it ``None``.
+    """
+
+    req_id: int
+    graph_id: int
+    arrival: float
+    dispatch: float
+    finish: float
+    replica: int
+    batch_id: int
+    energy: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent batched/queued before the replica started serving."""
+        return self.dispatch - self.arrival
+
+
+@dataclass
+class ServingReport:
+    """Outcome of serving one trace under one scheduling policy."""
+
+    policy: str
+    records: List[RequestRecord] = field(default_factory=list)
+    replica_busy: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    makespan: float = 0.0
+    batch_tokens: List[int] = field(default_factory=list)
+    batch_capacity: int = 0
+    queue_depth_peak: int = 0
+    host_forward_seconds: float = 0.0
+    collate_hits: int = 0
+    collate_misses: int = 0
+    slo_seconds: Optional[float] = None
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batch_tokens)
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency for r in self.records])
+
+    @property
+    def latency(self) -> LatencyStats:
+        return LatencyStats.from_latencies(self.latencies())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per second of simulated wall-clock."""
+        return self.n_requests / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def throughput_tokens(self) -> float:
+        total = sum(r_tokens for r_tokens in self.batch_tokens)
+        return total / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-replica busy fraction of the makespan."""
+        if self.makespan <= 0 or self.replica_busy.size == 0:
+            return np.zeros_like(self.replica_busy)
+        return self.replica_busy / self.makespan
+
+    @property
+    def utilization_imbalance(self) -> float:
+        """max/mean of per-replica busy seconds (1.0 = perfectly even) —
+        the serving analogue of the training straggler ratio."""
+        busy = self.replica_busy
+        if busy.size == 0 or busy.mean() <= 0:
+            return 1.0
+        return float(busy.max() / busy.mean())
+
+    @property
+    def utilization_cv(self) -> float:
+        """Coefficient of variation of per-replica busy seconds."""
+        busy = self.replica_busy
+        if busy.size == 0 or busy.mean() <= 0:
+            return 0.0
+        return float(busy.std() / busy.mean())
+
+    @property
+    def mean_batch_fill(self) -> float:
+        """Mean micro-batch occupancy of the token budget (0 when unset)."""
+        if self.batch_capacity <= 0 or not self.batch_tokens:
+            return 0.0
+        return float(np.mean(self.batch_tokens)) / self.batch_capacity
+
+    @property
+    def slo_attainment(self) -> Optional[float]:
+        """Fraction of requests finishing within the latency SLO."""
+        if self.slo_seconds is None or not self.records:
+            return None
+        lat = self.latencies()
+        return float(np.mean(lat <= self.slo_seconds))
+
+    # -- presentation -------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lat = self.latency
+        lines = [
+            f"policy            {self.policy}",
+            f"requests          {self.n_requests} in {self.n_batches} micro-batches",
+            f"makespan          {self.makespan * 1e3:.2f} ms",
+            f"throughput        {self.throughput_rps:.1f} req/s "
+            f"({self.throughput_tokens:.0f} tokens/s)",
+            f"latency ms        p50 {lat.p50 * 1e3:.3f}  p95 {lat.p95 * 1e3:.3f}  "
+            f"p99 {lat.p99 * 1e3:.3f}  max {lat.max * 1e3:.3f}",
+            f"batch fill        {self.mean_batch_fill:.1%} of {self.batch_capacity} tokens",
+            f"queue depth peak  {self.queue_depth_peak}",
+            f"replica util      {np.array2string(self.utilization, precision=3)}"
+            f"  imbalance {self.utilization_imbalance:.3f}",
+            f"collate cache     {self.collate_hits} hits / {self.collate_misses} misses",
+        ]
+        if self.slo_seconds is not None:
+            lines.append(
+                f"SLO {self.slo_seconds * 1e3:.1f} ms    attainment {self.slo_attainment:.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Versioned model registry: publish, warm-load, hot-swap.
+
+A thin immutable store over :mod:`repro.serialization` checkpoints laid
+out as ``root/<name>/v<NNNN>.npz``.  Three properties matter for serving:
+
+* **atomic publish** — ``save_model`` writes via a temp file +
+  ``os.replace``, so a crash mid-publish can never leave a corrupt
+  checkpoint for a replica to load;
+* **immutability** — a (name, version) pair is written exactly once;
+  re-publishing an existing version is an error, so a version string
+  always denotes one set of weights;
+* **warm loads** — recently loaded models are kept in a small LRU so a
+  rolling hot-swap across many replicas deserializes each checkpoint
+  once.  Checkpoints are self-describing (config embedded), so a loaded
+  model is bit-identical to the published one — the hot-swap parity the
+  serving tests assert.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..mace.model import MACE
+from ..serialization import load_model, save_model
+
+__all__ = ["ModelRegistry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_FILE_RE = re.compile(r"^v(\d{4,})\.npz$")
+
+
+class ModelRegistry:
+    """Filesystem model registry with warm loads.
+
+    Parameters
+    ----------
+    root:
+        Registry directory (created if missing).
+    warm_cache_size:
+        Number of loaded models kept in memory for repeat loads.
+    """
+
+    def __init__(self, root: Union[str, Path], warm_cache_size: int = 4) -> None:
+        if warm_cache_size <= 0:
+            raise ValueError("warm_cache_size must be positive")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.warm_cache_size = int(warm_cache_size)
+        self._warm: "OrderedDict[Tuple[str, int], MACE]" = OrderedDict()
+        self.warm_hits = 0
+        self.cold_loads = 0
+
+    # -- layout -------------------------------------------------------------------
+
+    def _model_dir(self, name: str) -> Path:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid model name {name!r}")
+        return self.root / name
+
+    def checkpoint_path(self, name: str, version: int) -> Path:
+        return self._model_dir(name) / f"v{int(version):04d}.npz"
+
+    def names(self) -> List[str]:
+        """Registered model names (those with at least one version)."""
+        return sorted(
+            d.name
+            for d in self.root.iterdir()
+            if d.is_dir() and self._scan_versions(d)
+        )
+
+    @staticmethod
+    def _scan_versions(model_dir: Path) -> List[int]:
+        out = []
+        for p in model_dir.iterdir():
+            m = _VERSION_FILE_RE.match(p.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def versions(self, name: str) -> List[int]:
+        """Published versions of ``name``, ascending (empty if unknown)."""
+        model_dir = self._model_dir(name)
+        if not model_dir.is_dir():
+            return []
+        return self._scan_versions(model_dir)
+
+    def latest_version(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"model {name!r} has no published versions")
+        return versions[-1]
+
+    # -- publish / load -----------------------------------------------------------
+
+    def publish(self, model: MACE, name: str, version: Optional[int] = None) -> int:
+        """Atomically write a new immutable version; returns its number.
+
+        ``version`` defaults to ``latest + 1`` (starting at 1).
+        """
+        model_dir = self._model_dir(name)
+        model_dir.mkdir(parents=True, exist_ok=True)
+        existing = self._scan_versions(model_dir)
+        if version is None:
+            version = (existing[-1] + 1) if existing else 1
+        version = int(version)
+        if version <= 0:
+            raise ValueError("version must be positive")
+        path = self.checkpoint_path(name, version)
+        if path.exists():
+            raise FileExistsError(
+                f"{name} v{version} already published; versions are immutable"
+            )
+        save_model(model, path)
+        return version
+
+    def load(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        with_version: bool = False,
+    ):
+        """A model instance for ``name`` (``version`` defaults to latest).
+
+        Warm loads return the cached instance — callers treating it as
+        read-only (the serving hot-swap path) share one copy of the
+        weights.  Pass ``with_version=True`` to also get the resolved
+        version number.
+        """
+        if version is None:
+            version = self.latest_version(name)
+        version = int(version)
+        key = (name, version)
+        model = self._warm.get(key)
+        if model is not None:
+            self.warm_hits += 1
+            self._warm.move_to_end(key)
+        else:
+            path = self.checkpoint_path(name, version)
+            if not path.exists():
+                raise FileNotFoundError(f"no checkpoint for {name} v{version}")
+            model = load_model(path)
+            self.cold_loads += 1
+            self._warm[key] = model
+            if len(self._warm) > self.warm_cache_size:
+                self._warm.popitem(last=False)
+        return (model, version) if with_version else model

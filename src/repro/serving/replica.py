@@ -1,0 +1,120 @@
+"""Simulated model replicas and their service-time model.
+
+A replica is one serving device with a single-slot execution queue on the
+simulation clock: micro-batches dispatched to it start at
+``max(now, free_at)`` and occupy it for the batch's service time.  The
+service time itself comes from the paper's analytical cost model — the
+:meth:`~repro.cluster.workload.MACEWorkloadModel.inference_times`
+roofline (forward-only, with the §5.5 sub-saturation flattening that
+makes *tiny* micro-batches no faster than a saturation-sized one) plus
+the modeled host-side collate cost, with the measured wall-time of the
+real NumPy forward optionally charged on top when the engine executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..cluster.gpu import A100, GPUSpec
+from ..cluster.workload import MACEWorkloadModel
+
+__all__ = ["ServiceModel", "Replica"]
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Micro-batch service-time estimator shared by engine and schedulers.
+
+    Attributes
+    ----------
+    workload_model:
+        Analytical MACE cost model — build it with
+        :meth:`MACEWorkloadModel.from_config` so the roofline matches the
+        served architecture.
+    gpu:
+        Device the replicas emulate.
+    variant:
+        Kernel variant of the served model (``"baseline"``/``"optimized"``).
+    """
+
+    workload_model: MACEWorkloadModel
+    gpu: GPUSpec = A100
+    variant: str = "optimized"
+
+    def device_seconds(self, tokens: int, edges: int) -> float:
+        """Forward-only on-device time of one micro-batch."""
+        return float(
+            self.workload_model.inference_times(
+                self.gpu,
+                np.array([float(tokens)]),
+                np.array([float(edges)]),
+                self.variant,
+            )[0]
+        )
+
+    def host_seconds(self, tokens: int, edges: int, cache_hit: bool) -> float:
+        """Host-side batch construction time (collate or cache lookup)."""
+        return float(
+            self.workload_model.host_collate_seconds(
+                np.array([float(tokens)]),
+                np.array([float(edges)]),
+                cache_hit_rate=1.0 if cache_hit else 0.0,
+            )[0]
+        )
+
+    def batch_seconds(self, tokens: int, edges: int, cache_hit: bool = False) -> float:
+        """Total modeled service time of one micro-batch."""
+        return self.device_seconds(tokens, edges) + self.host_seconds(
+            tokens, edges, cache_hit
+        )
+
+
+class Replica:
+    """One serving device on the simulation clock.
+
+    Attributes
+    ----------
+    free_at:
+        Time the replica finishes its last accepted micro-batch.
+    busy_seconds:
+        Cumulative service time — the quantity whose max/mean across the
+        pool is the utilization imbalance the cost-aware scheduler
+        minimizes.
+    n_batches, n_requests, tokens_served:
+        Volume counters.
+    """
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = int(replica_id)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear clock and counters (called at the start of each serve)."""
+        self.free_at = 0.0
+        self.busy_seconds = 0.0
+        self.n_batches = 0
+        self.n_requests = 0
+        self.tokens_served = 0
+
+    def dispatch(
+        self, now: float, service_seconds: float, n_requests: int, tokens: int
+    ) -> Tuple[float, float]:
+        """Accept a micro-batch at time ``now``; returns (start, finish).
+
+        The batch queues behind any in-flight work: it starts at
+        ``max(now, free_at)`` and holds the replica for the full service
+        time (replicas serve one micro-batch at a time).
+        """
+        if service_seconds < 0:
+            raise ValueError("service time must be non-negative")
+        start = max(now, self.free_at)
+        finish = start + service_seconds
+        self.free_at = finish
+        self.busy_seconds += service_seconds
+        self.n_batches += 1
+        self.n_requests += int(n_requests)
+        self.tokens_served += int(tokens)
+        return start, finish

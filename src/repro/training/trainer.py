@@ -88,12 +88,17 @@ class Trainer:
         loss of §5.2, preventing huge systems from dominating) or
         ``"uniform"``.
     collate_cache:
-        Optional :class:`repro.graphs.CollateCache`; when given, batches
-        with a previously seen composition are reused instead of
-        re-collated (epoch plans repeat compositions, so most epochs past
-        the first are pure cache hits).  The loss is invariant to member
-        order within a batch, so the cache's order normalization does not
-        change training.
+        :class:`repro.graphs.CollateCache` threading.  The default
+        ``"auto"`` gives the trainer its own private cache, so ``fit``,
+        ``ddp_step`` (and therefore the DDP simulator in
+        :mod:`repro.training.distributed`) and ``evaluate`` all reuse
+        collated batches out of the box — epoch plans repeat compositions,
+        so most epochs past the first are pure cache hits.  Pass an
+        existing cache to share it (e.g. with
+        ``sampler.rank_graph_batches``) or ``None`` to disable caching.
+        The key's geometry/label fingerprint makes in-place dataset
+        mutation a miss, never a stale read, and the loss is invariant to
+        member order within a batch, so caching does not change training.
     """
 
     def __init__(
@@ -104,7 +109,7 @@ class Trainer:
         lr_gamma: float = 0.98,
         ema_decay: float = 0.99,
         loss_weighting: str = "per_atom",
-        collate_cache: Optional[CollateCache] = None,
+        collate_cache="auto",
     ) -> None:
         if loss_weighting not in ("per_atom", "uniform"):
             raise ValueError(f"unknown loss weighting {loss_weighting!r}")
@@ -127,6 +132,8 @@ class Trainer:
         self.scheduler = ExponentialLR(self.optimizer, gamma=lr_gamma)
         self.ema = ExponentialMovingAverage(model, decay=ema_decay)
         self.loss_weighting = loss_weighting
+        if collate_cache == "auto":
+            collate_cache = CollateCache()
         self.collate_cache = collate_cache
 
     # -- batching -----------------------------------------------------------------

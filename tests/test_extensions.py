@@ -189,3 +189,23 @@ class TestCLI:
         from repro.cli import main
 
         assert main(["experiments", "figure99"]) == 2
+
+    def test_serve_bench_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve-bench", "--requests", "60", "--pool", "8", "--rate", "800",
+             "--replicas", "2", "--process", "poisson"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost-aware" in out and "round-robin" in out
+        assert "p99" in out and "imbalance" in out
+
+    def test_serve_bench_help_mentions_cost_model(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["serve-bench", "--help"])
+        assert exc.value.code == 0
+        assert "cost model" in capsys.readouterr().out

@@ -141,6 +141,12 @@ class TestVelocityVerlet:
         assert md.neighbor_rebuilds < 15
         assert md.neighbor_cache.queries >= 15
 
+    def test_auto_skin_accepted_and_bad_strings_rejected(self, water9):
+        md = VelocityVerlet(ReferenceCalculator(), water9, skin="auto", seed=8)
+        assert md.neighbor_cache is not None and md.neighbor_cache.auto_skin
+        with pytest.raises(ValueError, match="number or 'auto'"):
+            VelocityVerlet(ReferenceCalculator(), water9, skin="adaptive")
+
     def test_mace_calculator_owns_neighbor_list(self, rng):
         """With a cutoff, the calculator builds/refreshes edges itself."""
         model = MACE(CFG, seed=0)

@@ -229,6 +229,52 @@ class TestNeighborListCache:
             NeighborListCache(cutoff=0.0)
         with pytest.raises(ValueError):
             NeighborListCache(cutoff=3.0, skin=-0.1)
+        with pytest.raises(ValueError):
+            NeighborListCache(cutoff=3.0, skin="adaptive")
+
+    def _drive(self, cache, sigma, steps=60, seed=8):
+        """Random-walk a graph through ``steps`` cache updates."""
+        rng = np.random.default_rng(seed)
+        g = self._periodic_graph(rng)
+        cache.update(g)
+        for _ in range(steps):
+            g.positions += rng.normal(0.0, sigma, g.positions.shape)
+            cache.update(g)
+        return g
+
+    def test_auto_skin_hot_system_picks_larger_skin(self):
+        hot = NeighborListCache(cutoff=3.0, skin="auto")
+        cold = NeighborListCache(cutoff=3.0, skin="auto")
+        assert hot.auto_skin and cold.auto_skin
+        self._drive(hot, sigma=0.05)
+        self._drive(cold, sigma=0.002)
+        assert hot.skin > cold.skin
+        from repro.graphs.pipeline import _AUTO_SKIN_MAX, _AUTO_SKIN_MIN
+
+        for cache in (hot, cold):
+            assert _AUTO_SKIN_MIN <= cache.skin <= _AUTO_SKIN_MAX
+
+    def test_auto_skin_rebuilds_less_than_fixed_small_skin_when_hot(self):
+        auto = NeighborListCache(cutoff=3.0, skin="auto")
+        fixed = NeighborListCache(cutoff=3.0, skin=0.1)
+        self._drive(auto, sigma=0.05)
+        self._drive(fixed, sigma=0.05)
+        assert auto.rebuilds < fixed.rebuilds
+
+    def test_auto_skin_edges_stay_exact(self):
+        rng = np.random.default_rng(9)
+        g = self._periodic_graph(rng)
+        cache = NeighborListCache(cutoff=3.0, skin="auto")
+        for _ in range(25):
+            g.positions += rng.normal(0.0, 0.04, g.positions.shape)
+            cache.update(g)
+            ei_b, es_b = brute_force_neighbor_list(g.positions, 3.0, g.cell, True)
+            assert _edge_set(g.edge_index, g.edge_shift) == _edge_set(ei_b, es_b)
+
+    def test_fixed_skin_never_retunes(self):
+        cache = NeighborListCache(cutoff=3.0, skin=0.7)
+        self._drive(cache, sigma=0.05)
+        assert cache.skin == 0.7 and not cache.auto_skin
 
 
 def _labeled_graphs(rng, count=8):

@@ -87,6 +87,42 @@ class TestTrainer:
         loss = trainer.evaluate()
         assert np.isfinite(loss) and loss > 0
 
+    def test_collate_cache_on_by_default(self, labeled_graphs):
+        """fit/ddp_step thread a private CollateCache unless disabled."""
+        from repro.graphs import CollateCache
+
+        trainer = Trainer(MACE(CFG, seed=0), labeled_graphs)
+        assert isinstance(trainer.collate_cache, CollateCache)
+        sampler = BalancedDistributedSampler(
+            [g.n_atoms for g in labeled_graphs],
+            capacity=80,
+            num_replicas=1,
+            shuffle=False,
+            seed=0,
+        )
+        trainer.fit(sampler, n_epochs=2)
+        stats = trainer.collate_cache.stats()
+        # Epoch 2 repeats epoch 1's compositions: pure hits.
+        assert stats["hits"] >= stats["misses"] > 0
+        disabled = Trainer(MACE(CFG, seed=0), labeled_graphs, collate_cache=None)
+        assert disabled.collate_cache is None
+
+    def test_default_cache_trains_identically_to_disabled(self, labeled_graphs):
+        sampler = BalancedDistributedSampler(
+            [g.n_atoms for g in labeled_graphs],
+            capacity=80,
+            num_replicas=1,
+            shuffle=True,
+            seed=3,
+        )
+        r_default = Trainer(MACE(CFG, seed=6), labeled_graphs).fit(sampler, 3)
+        r_off = Trainer(
+            MACE(CFG, seed=6), labeled_graphs, collate_cache=None
+        ).fit(sampler, 3)
+        np.testing.assert_allclose(
+            r_default.epoch_losses, r_off.epoch_losses, rtol=1e-12
+        )
+
     def test_evaluate_memoizes_through_collate_cache(self, labeled_graphs):
         """With a collate cache attached, repeated default evaluate()
         calls reuse one memoized batch (and agree with the uncached
