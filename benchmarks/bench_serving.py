@@ -175,6 +175,41 @@ def main(argv=None) -> int:
         f"throughput ratio {thr_ratio:.3f}"
     )
 
+    # Mixed fleet (satellite of ISSUE 5): half the replicas at half
+    # speed.  The cost-aware scheduler predicts each replica's own
+    # finish time from its GPUSpec, so the asymmetry is exactly where
+    # per-replica costing must beat spec-blind round-robin.
+    slow = replace(
+        SERVING_GPU,
+        name=f"{SERVING_GPU.name}-half",
+        sustained_flops=SERVING_GPU.sustained_flops / 2,
+        sustained_bandwidth=SERVING_GPU.sustained_bandwidth / 2,
+    )
+    mixed = compare_policies(
+        model,
+        pool,
+        generate_trace(pool, n_requests, rate=2500.0, process="bursty", seed=5),
+        policies=("round-robin", "cost-aware"),
+        n_replicas=4,
+        gpu=[SERVING_GPU, SERVING_GPU, slow, slow],
+        max_batch_tokens=384,
+        max_wait=1e-2,
+        workload_model=PAPER_MODEL,
+        execute=False,
+        slo_seconds=0.1,
+    )
+    _print_table("mixed fleet (2 fast + 2 half-speed), bursty 2500 req/s", mixed)
+    rr_m, ca_m = mixed["round-robin"], mixed["cost-aware"]
+    assert ca_m.latency.p99 < rr_m.latency.p99, (
+        f"cost-aware p99 {ca_m.latency.p99 * 1e3:.2f} ms must beat round-robin "
+        f"{rr_m.latency.p99 * 1e3:.2f} ms on the heterogeneous fleet"
+    )
+    assert ca_m.throughput_rps >= rr_m.throughput_rps * 0.999
+    print(
+        f"mixed fleet: cost-aware p99 {ca_m.latency.p99 / rr_m.latency.p99 - 1.0:+.1%} "
+        f"vs round-robin"
+    )
+
     if not args.smoke:
         for process, rate in (
             ("poisson", 2000.0),

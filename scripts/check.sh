@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 test suite plus the pipeline, kernel and serving
-# smoke benchmarks, so correctness *and* perf regressions in the graph
-# pipeline, the model-forward hot kernels and the serving scheduler are
-# catchable from one command.
+# Repo check: tier-1 test suite plus the pipeline, kernel, serving and
+# runtime smoke benchmarks, so correctness *and* perf regressions in the
+# graph pipeline, the model-forward hot kernels, the serving scheduler
+# and the compiled-plan runtime are catchable from one command.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -11,4 +11,5 @@ python -m pytest -x -q
 python benchmarks/bench_pipeline.py --smoke
 python benchmarks/bench_kernels.py --smoke
 python benchmarks/bench_serving.py --smoke
+python benchmarks/bench_runtime.py --smoke
 echo "check: OK"

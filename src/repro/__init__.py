@@ -21,9 +21,15 @@ Public API overview
 * :mod:`repro.training` — the §5.2 training recipe;
 * :mod:`repro.experiments` — one harness per paper table/figure;
 * :mod:`repro.serving` — the cost-model-driven batched inference engine:
-  dynamic micro-batching, replica scheduling (round-robin / least-loaded
-  vs. the paper's bin-packing applied online), a versioned model
-  registry with atomic hot swap, and latency-SLO benchmarks.
+  dynamic micro-batching with work-conserving admission, replica
+  scheduling (round-robin / least-loaded vs. the paper's bin-packing
+  applied online) over homogeneous or heterogeneous replica pools, a
+  versioned model registry with atomic hot swap, and latency-SLO
+  benchmarks;
+* :mod:`repro.runtime` — record-once/replay-many compiled execution
+  plans for the autograd tape (capture hook, constant folding, compiled
+  backward, shape-bucket plan cache), threaded through training, MD and
+  serving by default with guard-checked eager fallback.
 """
 
 from .mace import MACE, MACEConfig

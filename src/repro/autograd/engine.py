@@ -27,6 +27,24 @@ __all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled", "as_tensor"]
 
 _GRAD_ENABLED = [True]
 
+# Active tape recorder (see repro.runtime).  When set, every Function
+# application is reported to it so a CompiledPlan can be built from one
+# eager pass.  A single module-level slot keeps the fast path to one
+# global load + identity check per op.
+_RECORDER = None
+
+
+def _set_recorder(recorder):
+    """Install (or clear, with ``None``) the active tape recorder.
+
+    Returns the previously installed recorder so callers can restore it;
+    used only by :mod:`repro.runtime`.
+    """
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -64,7 +82,18 @@ class Function:
     :meth:`backward` (returning one gradient per input, or ``None`` for
     non-differentiable inputs).  ``self.saved`` may hold anything forward
     wants to reuse.
+
+    ``grad_mask`` is an optional per-tensor-input needed-gradient mask
+    (aligned with the backward return tuple).  The eager engine never
+    sets it — every instance computes all gradients, as before.  A
+    compiled plan (:mod:`repro.runtime`) sets it on its private replayed
+    instances so expensive backward rules can skip gradients nobody
+    consumes (constant-folded operands, pruned parameter branches);
+    honoring the mask is optional and purely an optimization, since the
+    caller drops unrequested gradients either way.
     """
+
+    grad_mask: Optional[Tuple[bool, ...]] = None
 
     def __init__(self) -> None:
         self.inputs: Tuple["Tensor", ...] = ()
@@ -88,6 +117,8 @@ class Function:
         out = Tensor(out_data, requires_grad=requires)
         if requires:
             out._ctx = fn
+        if _RECORDER is not None:
+            _RECORDER.record(fn, args, kwargs, out)
         return out
 
 
@@ -305,7 +336,11 @@ class Add(Function):
 
     def backward(self, grad):
         sa, sb = self.saved
-        return _unbroadcast(grad, sa), _unbroadcast(grad, sb)
+        na, nb = self.grad_mask or (True, True)
+        return (
+            _unbroadcast(grad, sa) if na else None,
+            _unbroadcast(grad, sb) if nb else None,
+        )
 
 
 class Sub(Function):
@@ -315,7 +350,11 @@ class Sub(Function):
 
     def backward(self, grad):
         sa, sb = self.saved
-        return _unbroadcast(grad, sa), _unbroadcast(-grad, sb)
+        na, nb = self.grad_mask or (True, True)
+        return (
+            _unbroadcast(grad, sa) if na else None,
+            _unbroadcast(-grad, sb) if nb else None,
+        )
 
 
 class Mul(Function):
@@ -325,7 +364,11 @@ class Mul(Function):
 
     def backward(self, grad):
         a, b = self.saved
-        return _unbroadcast(grad * b, a.shape), _unbroadcast(grad * a, b.shape)
+        na, nb = self.grad_mask or (True, True)
+        return (
+            _unbroadcast(grad * b, a.shape) if na else None,
+            _unbroadcast(grad * a, b.shape) if nb else None,
+        )
 
 
 class Div(Function):
@@ -335,8 +378,9 @@ class Div(Function):
 
     def backward(self, grad):
         a, b = self.saved
-        ga = _unbroadcast(grad / b, a.shape)
-        gb = _unbroadcast(-grad * a / (b * b), b.shape)
+        na, nb = self.grad_mask or (True, True)
+        ga = _unbroadcast(grad / b, a.shape) if na else None
+        gb = _unbroadcast(-grad * a / (b * b), b.shape) if nb else None
         return ga, gb
 
 
@@ -365,21 +409,32 @@ class MatMul(Function):
 
     def backward(self, grad):
         a, b = self.saved
+        need_a, need_b = self.grad_mask or (True, True)
         if a.ndim == 1 and b.ndim == 1:  # inner product
             return grad * b, grad * a
         if b.ndim == 1:  # (..., n, k) @ (k,) -> (..., n)
-            ga = grad[..., None] * b
-            gb = np.einsum("...n,...nk->k", grad, a)
-            return _unbroadcast(ga, a.shape), gb
+            ga = _unbroadcast(grad[..., None] * b, a.shape) if need_a else None
+            gb = np.einsum("...n,...nk->k", grad, a) if need_b else None
+            return ga, gb
         if a.ndim == 1:  # (k,) @ (k, m) -> (m,)
             ga = b @ grad
             gb = np.outer(a, grad)
             return ga, _unbroadcast(gb, b.shape)
-        bt = np.swapaxes(b, -1, -2)
-        at = np.swapaxes(a, -1, -2)
-        ga = _unbroadcast(grad @ bt, a.shape)
-        gb = _unbroadcast(at @ grad, b.shape)
+        ga = (
+            _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape) if need_a else None
+        )
+        gb = (
+            _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape) if need_b else None
+        )
         return ga, gb
+
+
+def _is_basic_index(key) -> bool:
+    """Whether ``key`` is pure basic indexing (ints/slices/None/...)."""
+    parts = key if isinstance(key, tuple) else (key,)
+    return all(
+        isinstance(k, (int, slice)) or k is None or k is Ellipsis for k in parts
+    )
 
 
 class GetItem(Function):
@@ -390,7 +445,12 @@ class GetItem(Function):
     def backward(self, grad):
         shape, key = self.saved
         out = np.zeros(shape, dtype=np.float64)
-        np.add.at(out, key, grad)
+        if _is_basic_index(key):
+            # Basic indexing never selects an element twice, so the
+            # scatter-add is a plain (much cheaper) assignment.
+            out[key] = grad
+        else:
+            np.add.at(out, key, grad)
         return (out,)
 
 

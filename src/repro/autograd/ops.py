@@ -26,6 +26,43 @@ __all__ = [
 ]
 
 
+def _scatter_add_rows(fn: Function, shape, index: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Row scatter-add with a per-instance plan for replayed Functions.
+
+    Eager execution creates a fresh ``Function`` per call, so the first
+    call takes the plain ``np.add.at`` path and merely remembers the
+    index array.  A *replayed* instance (see :mod:`repro.runtime`) is
+    called repeatedly with the identical index object; from the second
+    call on it scatters through a memoized stable-sort + ``reduceat``
+    plan, which is severalfold faster on wide rows.  The stable sort
+    preserves the per-segment contribution order, so results match the
+    ``add.at`` path to summation-reassociation error (~1e-15), within
+    the runtime's 1e-10 equivalence contract.
+    """
+    state = fn.__dict__.get("_scatter_plan")
+    if state is None or state[0] is not index:
+        fn._scatter_plan = (index, None)
+        out = np.zeros(shape, dtype=np.float64)
+        np.add.at(out, index, values)
+        return out
+    plan = state[1]
+    if plan is None:
+        order = np.argsort(index, kind="stable")
+        sorted_ids = index[order]
+        if sorted_ids.size:
+            starts = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+            segments = sorted_ids[starts]
+        else:
+            starts = segments = sorted_ids
+        plan = (order, segments, starts)
+        fn._scatter_plan = (index, plan)
+    order, segments, starts = plan
+    out = np.zeros(shape, dtype=np.float64)
+    if starts.size:
+        out[segments] = np.add.reduceat(values[order], starts, axis=0)
+    return out
+
+
 class GatherRows(Function):
     """``out[e] = x[index[e]]`` along axis 0 (edge gather)."""
 
@@ -35,9 +72,7 @@ class GatherRows(Function):
 
     def backward(self, grad):
         shape, index = self.saved
-        out = np.zeros(shape, dtype=np.float64)
-        np.add.at(out, index, grad)
-        return (out, None)
+        return (_scatter_add_rows(self, shape, index, grad), None)
 
 
 def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
@@ -50,9 +85,9 @@ class SegmentSum(Function):
 
     def forward(self, x, segment_ids, num_segments):
         self.saved = (segment_ids,)
-        out = np.zeros((num_segments,) + x.shape[1:], dtype=np.float64)
-        np.add.at(out, segment_ids, x)
-        return out
+        return _scatter_add_rows(
+            self, (num_segments,) + x.shape[1:], segment_ids, x
+        )
 
     def backward(self, grad):
         (segment_ids,) = self.saved

@@ -149,6 +149,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         pool, args.requests, rate=args.rate, process=args.process, seed=args.seed
     )
     gpu = replace(A100, saturation_tokens_fp32=args.saturation)
+    if args.slow_replicas:
+        if args.slow_replicas >= args.replicas:
+            raise SystemExit("--slow-replicas must be below --replicas")
+        slow = replace(
+            gpu,
+            name=f"{gpu.name}-half",
+            sustained_flops=gpu.sustained_flops / 2,
+            sustained_bandwidth=gpu.sustained_bandwidth / 2,
+        )
+        gpu = [gpu] * (args.replicas - args.slow_replicas) + [slow] * args.slow_replicas
     reports = compare_policies(
         model,
         pool,
@@ -157,6 +167,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         n_replicas=args.replicas,
         max_batch_tokens=args.capacity,
         max_wait=args.max_wait_ms * 1e-3,
+        work_conserving=not args.no_work_conserving,
         workload_model=PAPER_MODEL,
         gpu=gpu,
         execute=args.execute,
@@ -307,6 +318,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute",
         action="store_true",
         help="run the real NumPy forward per micro-batch (slower)",
+    )
+    p_serve.add_argument(
+        "--no-work-conserving",
+        action="store_true",
+        help="always wait out the admission deadline (pre-work-conserving behavior)",
+    )
+    p_serve.add_argument(
+        "--slow-replicas",
+        type=int,
+        default=0,
+        help="make this many replicas half-speed (heterogeneous pool demo)",
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(fn=_cmd_serve_bench)

@@ -249,23 +249,28 @@ class _ChannelwiseTPBaseline(Function):
     def backward(self, grad):
         Y, h, R, table = self.saved
         E, K = h.shape[0], h.shape[1]
-        gY = np.zeros_like(Y)
-        gh = np.zeros_like(h)
-        gR = np.zeros_like(R)
+        need_y, need_h, need_r = self.grad_mask or (True, True, True)
+        gY = np.zeros_like(Y) if need_y else None
+        gh = np.zeros_like(h) if need_h else None
+        gR = np.zeros_like(R) if need_r else None
         for p, (l1, l2, l3) in enumerate(table.paths):
             s1, s2, s3 = sh_block_slice(l1), sh_block_slice(l2), sh_block_slice(l3)
             C = clebsch_gordan(l1, l2, l3)
             g3 = grad[:, :, s3]
-            rg = R[:, :, p, None] * g3  # (E, K, d3)
-            gY[:, s1] += np.einsum(
-                "eko,mno,ekn->em", rg, C, h[:, :, s2], optimize=True
-            )
-            gh[:, :, s2] += np.einsum(
-                "eko,mno,em->ekn", rg, C, Y[:, s1], optimize=True
-            )
-            gR[:, :, p] = np.einsum(
-                "eko,mno,em,ekn->ek", g3, C, Y[:, s1], h[:, :, s2], optimize=True
-            )
+            if need_y or need_h:
+                rg = R[:, :, p, None] * g3  # (E, K, d3)
+            if need_y:
+                gY[:, s1] += np.einsum(
+                    "eko,mno,ekn->em", rg, C, h[:, :, s2], optimize=True
+                )
+            if need_h:
+                gh[:, :, s2] += np.einsum(
+                    "eko,mno,em->ekn", rg, C, Y[:, s1], optimize=True
+                )
+            if need_r:
+                gR[:, :, p] = np.einsum(
+                    "eko,mno,em,ekn->ek", g3, C, Y[:, s1], h[:, :, s2], optimize=True
+                )
         return gY, gh, gR, None
 
 
@@ -291,7 +296,17 @@ class _ChannelwiseTPOptimized(Function):
         _check_shapes(Y, h, R, table)
         E, K = h.shape[0], h.shape[1]
         d3 = sh_dim(table.l3max)
-        M = (Y @ table.reduce_y).reshape(E, table.n_pairs, d3)
+        # The per-edge operator M depends only on Y.  A *replayed*
+        # instance (repro.runtime) whose Y was constant-folded sees the
+        # identical array object on every call, so the reduction GEMM is
+        # memoized per instance; eager one-shot instances (and force
+        # plans, which rebind positions and hence Y) always recompute.
+        state = self.__dict__.get("_m_cache")
+        if state is not None and state[0] is Y:
+            M = state[1]
+        else:
+            M = (Y @ table.reduce_y).reshape(E, table.n_pairs, d3)
+            self._m_cache = (Y, M)
         hp = h[:, :, table.pair_i2]  # (E, K, n_pairs)
         Rp = R[:, :, table.pair_path]  # (E, K, n_pairs)
         hr = hp * Rp
@@ -318,19 +333,25 @@ class _ChannelwiseTPOptimized(Function):
     def backward(self, grad):
         h, R, table, M, pair_cache = self.saved
         E, K = h.shape[0], h.shape[1]
+        need_y, need_h, need_r = self.grad_mask or (True, True, True)
         if pair_cache is None:
-            hp = h[:, :, table.pair_i2]
-            Rp = R[:, :, table.pair_path]
-            hr = hp * Rp
+            hp = h[:, :, table.pair_i2] if (need_r or need_y) else None
+            Rp = R[:, :, table.pair_path] if (need_h or need_y) else None
+            hr = hp * Rp if need_y else None
         else:
             hp, Rp, hr = pair_cache
-        # d(hr): batched matmul against the per-edge operator.
-        g_hr = np.matmul(grad, M.transpose(0, 2, 1))  # (E, K, n_pairs)
-        gh = ((g_hr * Rp).reshape(E * K, -1) @ table.scatter_h).reshape(h.shape)
-        gR = ((g_hr * hp).reshape(E * K, -1) @ table.scatter_path).reshape(R.shape)
-        # d(M) reduces over channels, then the transposed Y reduction.
-        gM = np.matmul(hr.transpose(0, 2, 1), grad)  # (E, n_pairs, d3)
-        gY = gM.reshape(E, -1) @ table.reduce_y.T
+        gY = gh = gR = None
+        if need_h or need_r:
+            # d(hr): batched matmul against the per-edge operator.
+            g_hr = np.matmul(grad, M.transpose(0, 2, 1))  # (E, K, n_pairs)
+            if need_h:
+                gh = ((g_hr * Rp).reshape(E * K, -1) @ table.scatter_h).reshape(h.shape)
+            if need_r:
+                gR = ((g_hr * hp).reshape(E * K, -1) @ table.scatter_path).reshape(R.shape)
+        if need_y:
+            # d(M) reduces over channels, then the transposed Y reduction.
+            gM = np.matmul(hr.transpose(0, 2, 1), grad)  # (E, n_pairs, d3)
+            gY = gM.reshape(E, -1) @ table.reduce_y.T
         return gY, gh, gR, None
 
 

@@ -65,6 +65,11 @@ _F8 = 8.0
 # segment reduction is no longer worth materializing (memory ~ n * n_dst
 # doubles) and the plan falls back to the reduceat segment sum.
 _SELECT_DENSE_MAX = 1 << 22
+# Below this operand size the weight/block contraction runs as a
+# broadcast multiply + axis sum instead of np.einsum: the einsum wrapper
+# dispatch dominates sub-saturation shapes (serving micro-batches, small
+# MD cells), while large shapes keep einsum's blocked reduction.
+_SMALL_CONTRACT_MAX = 1 << 17
 
 
 @dataclass(frozen=True)
@@ -481,7 +486,13 @@ class _SymContractionOptimized(Function):
             # One GEMM folds coefficients and reduces tuples -> (eta, M).
             G_T = (block.V.T @ prodT).reshape(P, M, NK)
             wselT = np.ascontiguousarray(w[species].reshape(NK, P).T)
-            blk = np.einsum("pn,pmn->mn", wselT, G_T, optimize=True)
+            if G_T.size <= _SMALL_CONTRACT_MAX:
+                # Sub-saturation shapes: a broadcast multiply + axis sum
+                # beats the einsum dispatch severalfold (same contraction,
+                # reassociated summation).
+                blk = (wselT[:, None, :] * G_T).sum(axis=0)
+            else:
+                blk = np.einsum("pn,pmn->mn", wselT, G_T, optimize=True)
             base = block.L * block.L
             out[:, :, base : base + M] += blk.reshape(M, N, K).transpose(1, 2, 0)
             saved_taken.append(products)
@@ -504,15 +515,21 @@ class _SymContractionOptimized(Function):
         A, species, weights, spec, A2T, saved_taken, saved_G = self.saved
         N, K = A.shape[0], A.shape[1]
         NK = N * K
+        mask = self.grad_mask or (True,) * (1 + len(weights))
+        need_a = mask[0]
         gA2T = np.zeros_like(A2T)
-        gws = [np.zeros_like(w) for w in weights]
+        gws = [
+            np.zeros_like(wt) if mask[1 + i] else None
+            for i, wt in enumerate(weights)
+        ]
         # One species selection matrix shared by every block: the
         # atoms -> species-rows reduction of each per-atom weight gradient
         # becomes a single GEMM against it (replacing the per-block
         # np.add.at scatters).
         n_species = weights[0].shape[0]
-        sp_select = np.zeros((n_species, N))
-        sp_select[species, np.arange(N)] = 1.0
+        if any(mask[1:]):
+            sp_select = np.zeros((n_species, N))
+            sp_select[species, np.arange(N)] = 1.0
         for w_i, (w, block) in enumerate(zip(weights, spec.blocks)):
             P, M = block.n_paths, 2 * block.L + 1
             products = saved_taken[w_i]
@@ -521,11 +538,18 @@ class _SymContractionOptimized(Function):
             g_blockT = np.ascontiguousarray(
                 grad[:, :, base : base + M].reshape(NK, M).T
             )  # (M, NK)
-            # dW: small einsum, then segment-reduce atoms -> species rows.
-            gw2 = np.einsum("mn,pmn->np", g_blockT, G_T, optimize=True)
-            gws[w_i][:] = (
-                sp_select @ gw2.reshape(N, K * P)
-            ).reshape(w.shape)
+            if mask[1 + w_i]:
+                # dW: small contraction, then segment-reduce atoms ->
+                # species rows.
+                if G_T.size <= _SMALL_CONTRACT_MAX:
+                    gw2 = (g_blockT[None, :, :] * G_T).sum(axis=1).T
+                else:
+                    gw2 = np.einsum("mn,pmn->np", g_blockT, G_T, optimize=True)
+                gws[w_i][:] = (
+                    sp_select @ gw2.reshape(N, K * P)
+                ).reshape(w.shape)
+            if not need_a:
+                continue
             # d(prodT): expand (eta, M) grads through the V GEMM, reusing
             # the species-gathered weights saved by forward.
             gG_T = (wselT[:, None, :] * g_blockT[None, :, :]).reshape(P * M, NK)
@@ -545,7 +569,7 @@ class _SymContractionOptimized(Function):
                 # nu == 1: products were direct gathers of the (unique,
                 # sorted) tuple rows.
                 gA2T[block.tuple_cols] += g_cur
-        return (gA2T.T.reshape(A.shape), *gws)
+        return (gA2T.T.reshape(A.shape) if need_a else None, *gws)
 
 
 def symmetric_contraction_baseline(

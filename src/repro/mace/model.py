@@ -21,13 +21,14 @@ what makes the ablation clean.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..autograd import Tensor, gather_rows, segment_sum
 from ..autograd.engine import no_grad
 from ..equivariant.spherical_harmonics import sh_dim
+from ..runtime import CompiledPlan, PlanCache, PlanStale, batch_signature, record_tape
 from ..graphs.batch import GraphBatch
 from ..kernels import (
     channelwise_tp_baseline,
@@ -135,6 +136,7 @@ class MACE(Module):
         self.readout_final = MLP([K, cfg.readout_mlp_hidden, 1], rng=rng)
         self.species_energy = Parameter(np.zeros(cfg.n_species))
         self.energy_scale = Parameter(np.ones(1))
+        self._plan_cache: Optional[PlanCache] = None  # lazy, compiled=True path
 
     # -- species handling -------------------------------------------------------
 
@@ -187,15 +189,107 @@ class MACE(Module):
             site_energy = site_energy + self.energy_scale * contrib.reshape((n_atoms,))
         return segment_sum(site_energy, batch.graph_index, batch.n_graphs)
 
-    def forces(self, batch: GraphBatch) -> np.ndarray:
-        """``(n_atoms, 3)`` forces, ``F = -dE/dr`` via reverse-mode autograd."""
-        positions = Tensor(batch.positions.copy(), requires_grad=True)
-        energy = self.forward(batch, positions=positions).sum()
-        energy.backward()
-        assert positions.grad is not None
-        return -positions.grad
+    # -- compiled execution (repro.runtime) --------------------------------------
 
-    def predict_energy(self, batch: GraphBatch) -> np.ndarray:
-        """Per-graph energies as a plain array (no tape)."""
-        with no_grad():
-            return self.forward(batch).numpy()
+    def _plan_cache_for(self, compiled) -> Optional[PlanCache]:
+        """Resolve the ``compiled=`` argument of the prediction entry points.
+
+        ``None``/``False`` — eager; a :class:`~repro.runtime.PlanCache` —
+        use it; ``True``/``"auto"`` — a lazily created model-private
+        cache shared by all compiled calls on this instance.
+        """
+        if compiled is None or compiled is False:
+            return None
+        if isinstance(compiled, PlanCache):
+            return compiled
+        if compiled is True or compiled == "auto":
+            if self._plan_cache is None:
+                self._plan_cache = PlanCache()
+            return self._plan_cache
+        raise TypeError(f"compiled must be None, bool, 'auto' or PlanCache, got {compiled!r}")
+
+    def forces(self, batch: GraphBatch, compiled=None) -> np.ndarray:
+        """``(n_atoms, 3)`` forces, ``F = -dE/dr`` via reverse-mode autograd.
+
+        ``compiled`` selects the record-once/replay-many path (see
+        :meth:`energy_and_forces`, which this delegates to).
+        """
+        return self.energy_and_forces(batch, compiled=compiled)[1]
+
+    def energy_and_forces(
+        self, batch: GraphBatch, compiled=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-graph energies and per-atom forces from one forward+backward.
+
+        With ``compiled`` (``True``/``"auto"``/a
+        :class:`~repro.runtime.PlanCache`), the forward+backward pass is
+        captured once per shape bucket — positions are a replay *input*,
+        so an MD trajectory keeps hitting the same plan while its edge
+        set is unchanged — and replayed with no tape construction.  The
+        compiled backward targets only the positions, pruning the
+        parameter-gradient branches the eager pass always pays for.
+        Falls back to eager on any cache miss or guard rejection.
+        """
+        cache = self._plan_cache_for(compiled)
+        if cache is not None:
+            key = ("forces", id(self), batch_signature(batch, include_positions=False))
+            plan = cache.get(key)
+            if plan is not None:
+                try:
+                    (energies,), (grad,) = plan.replay(batch.positions)
+                    assert grad is not None
+                    return energies, -grad
+                except PlanStale:
+                    cache.invalidate(key)
+            else:
+                positions = Tensor(batch.positions.copy(), requires_grad=True)
+                with record_tape() as tape:
+                    energies = self.forward(batch, positions=positions)
+                    total = energies.sum()
+                total.backward()
+                assert positions.grad is not None
+                cache.put(
+                    key,
+                    CompiledPlan(
+                        tape,
+                        outputs=(energies,),
+                        seed=total,
+                        inputs=(positions,),
+                        grad_params=False,
+                        owner=self,
+                    ),
+                )
+                return energies.numpy(), -positions.grad
+        positions = Tensor(batch.positions.copy(), requires_grad=True)
+        energies = self.forward(batch, positions=positions)
+        energies.sum().backward()
+        assert positions.grad is not None
+        return energies.numpy(), -positions.grad
+
+    def predict_energy(self, batch: GraphBatch, compiled=None) -> np.ndarray:
+        """Per-graph energies as a plain array (no tape).
+
+        With ``compiled``, the inference graph is captured once per
+        shape bucket and replayed thereafter; the whole edge-geometry
+        pipeline (spherical harmonics, radial features) is folded as
+        plan constants, so the signature covers positions — mutated
+        geometry is a miss followed by recapture, never a stale replay.
+        """
+        cache = self._plan_cache_for(compiled)
+        if cache is None:
+            with no_grad():
+                return self.forward(batch).numpy()
+        key = ("energy", id(self), batch_signature(batch, include_positions=True))
+        plan = cache.get(key)
+        if plan is not None:
+            try:
+                (energies,), _ = plan.replay()
+                return energies
+            except PlanStale:
+                cache.invalidate(key)
+                with no_grad():
+                    return self.forward(batch).numpy()
+        with record_tape() as tape, no_grad():
+            out = self.forward(batch)
+        cache.put(key, CompiledPlan(tape, outputs=(out,), owner=self))
+        return out.numpy()

@@ -23,6 +23,7 @@ from ..data.labels import ReferencePotential
 from ..graphs.batch import collate
 from ..graphs.molecular_graph import MolecularGraph
 from ..graphs.pipeline import DEFAULT_SKIN, NeighborListCache
+from ..runtime import resolve_plan_cache
 
 __all__ = ["MACECalculator", "ReferenceCalculator"]
 
@@ -30,7 +31,9 @@ __all__ = ["MACECalculator", "ReferenceCalculator"]
 class MACECalculator:
     """Energies and forces from a (trained) MACE model.
 
-    The model's autograd graph supplies exact forces ``-dE/dr``.
+    The model's autograd graph supplies exact forces ``-dE/dr``; energy
+    and forces come from a *single* forward+backward pass
+    (:meth:`repro.mace.MACE.energy_and_forces`).
 
     Parameters
     ----------
@@ -42,6 +45,15 @@ class MACECalculator:
         graph must arrive with edges already built.
     skin:
         Verlet-skin radius of the internal cache (with ``cutoff``).
+    compiled:
+        Compiled-plan threading (:mod:`repro.runtime`).  The default
+        ``"auto"`` gives the calculator a private
+        :class:`~repro.runtime.PlanCache`: the force graph is captured
+        once per edge set and replayed every MD step with positions as
+        the replay input, falling back to eager capture whenever the
+        Verlet rebuild changes the edge set (a new shape bucket) and to
+        plain eager on any replay-guard rejection.  Pass ``None`` to
+        always run eagerly, or an existing cache to share it.
     """
 
     def __init__(
@@ -49,11 +61,13 @@ class MACECalculator:
         model,
         cutoff: Optional[float] = None,
         skin: float = DEFAULT_SKIN,
+        compiled="auto",
     ) -> None:
         self.model = model
         self.neighbor_cache = (
             NeighborListCache(cutoff, skin) if cutoff is not None else None
         )
+        self.plan_cache = resolve_plan_cache(compiled)
 
     def energy_and_forces(self, graph: MolecularGraph) -> Tuple[float, np.ndarray]:
         if self.neighbor_cache is not None:
@@ -61,9 +75,10 @@ class MACECalculator:
         elif not graph.has_edges:
             raise ValueError("graph needs a neighbor list")
         batch = collate([graph])
-        energy = float(self.model.predict_energy(batch)[0])
-        forces = self.model.forces(batch)
-        return energy, forces
+        energies, forces = self.model.energy_and_forces(
+            batch, compiled=self.plan_cache
+        )
+        return float(energies[0]), forces
 
 
 class ReferenceCalculator:

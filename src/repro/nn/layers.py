@@ -52,6 +52,13 @@ class _ChannelMix(Function):
     the tape stays shallow for large models.
     """
 
+    @staticmethod
+    def _mix(block: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        # (..., K, d) x (K, J) -> (..., J, d) as one BLAS matmul on the
+        # transposed layout (bitwise-equal to the einsum formulation,
+        # several times faster at both small and saturated sizes).
+        return np.swapaxes(np.swapaxes(block, -2, -1) @ weight, -2, -1)
+
     def forward(self, x, *weights, lmax: int):
         self.saved = (x, weights, lmax)
         # x has layout (..., K_in, (lmax+1)^2); each degree block is x[..., :, sl].
@@ -59,17 +66,29 @@ class _ChannelMix(Function):
         out = np.empty(x.shape[:-2] + (k_out, x.shape[-1]), dtype=np.float64)
         for l in range(lmax + 1):
             sl = sh_block_slice(l)
-            out[..., sl] = np.einsum("...km,kj->...jm", x[..., sl], weights[l], optimize=True)
+            out[..., sl] = self._mix(x[..., sl], weights[l])
         return out
 
     def backward(self, grad):
         x, weights, lmax = self.saved
-        gx = np.empty_like(x)
+        mask = self.grad_mask or (True,) * (lmax + 2)
+        gx = np.empty_like(x) if mask[0] else None
         gws = []
         for l in range(lmax + 1):
             sl = sh_block_slice(l)
-            gx[..., sl] = np.einsum("...jm,kj->...km", grad[..., sl], weights[l], optimize=True)
-            gw = np.einsum("...km,...jm->kj", x[..., sl], grad[..., sl], optimize=True)
+            g = grad[..., sl]
+            if mask[0]:
+                gx[..., sl] = self._mix(g, weights[l].T)
+            if not mask[1 + l]:
+                gws.append(None)
+                continue
+            xb = x[..., sl]
+            # sum over batch and m: gw[k, j] = sum x[..., k, m] g[..., j, m]
+            gw = np.tensordot(
+                xb.reshape(-1, *xb.shape[-2:]),
+                g.reshape(-1, *g.shape[-2:]),
+                axes=([0, 2], [0, 2]),
+            )
             gws.append(gw)
         return (gx, *gws)
 

@@ -1,0 +1,51 @@
+"""Runtime: record-once/replay-many compiled execution plans.
+
+The paper's thesis is that an analytical cost model can drive MACE
+workloads to hardware limits; this package removes the part of the hot
+path the cost model cannot see — eager Python tape construction.  Every
+``MACE.forward`` + ``backward()`` normally pays per-op Function objects,
+kwargs plumbing and a topological sort, even though training steps, MD
+trajectories and serving micro-batches replay the *same* graph over
+fixed shape buckets thousands of times.  The pieces:
+
+* :func:`~repro.runtime.plan.record_tape` /
+  :class:`~repro.runtime.plan.TapeRecorder` — a capture hook in
+  :meth:`repro.autograd.engine.Function.apply` logs one ordinary eager
+  pass into a tape;
+* :class:`~repro.runtime.plan.CompiledPlan` — lowers the tape to a
+  static, topo-ordered instruction list with resolved input slots,
+  dead-node elimination, constant folding of parameter-free subgraphs
+  (edge geometry, spherical harmonics, radial features in training
+  plans), a compiled backward with preallocated gradient buffers, and a
+  guard-checked :meth:`~repro.runtime.plan.CompiledPlan.replay` that
+  raises :class:`~repro.runtime.plan.PlanStale` instead of ever
+  replaying stale shapes or dtypes;
+* :class:`~repro.runtime.cache.PlanCache` /
+  :func:`~repro.runtime.cache.batch_signature` — a bounded LRU keyed on
+  the same bin-composition fingerprint discipline as
+  :class:`repro.graphs.CollateCache`, so shape buckets hit compiled
+  plans and every invalidation event (new edge set, mutated positions,
+  relabeled targets, dtype drift) is a miss followed by recapture.
+
+Threaded through the stack by default — ``Trainer(plan_cache="auto")``,
+``MACECalculator(compiled="auto")``, ``InferenceEngine(plan_cache=
+"auto")`` and the ``compiled=`` argument of ``MACE.predict_energy`` /
+``MACE.forces`` / ``MACE.energy_and_forces`` — with transparent eager
+fallback on any cache miss, guard rejection or model hot swap.
+``benchmarks/bench_runtime.py --smoke`` gates the >=1.5x replay speedup
+and the 1e-10 energy/force/gradient equivalence contract against the
+eager engine.
+"""
+
+from .cache import PlanCache, batch_signature, resolve_plan_cache
+from .plan import CompiledPlan, PlanStale, TapeRecorder, record_tape
+
+__all__ = [
+    "CompiledPlan",
+    "PlanCache",
+    "PlanStale",
+    "TapeRecorder",
+    "batch_signature",
+    "record_tape",
+    "resolve_plan_cache",
+]

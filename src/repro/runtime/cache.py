@@ -1,0 +1,157 @@
+"""Plan caching keyed on shape-bucket signatures.
+
+A :class:`~repro.runtime.plan.CompiledPlan` is specific to one *shape
+bucket*: one batch composition (atom/edge/graph layout, species, edge
+set) and — when the plan folded them as constants — one set of position
+and label arrays.  :func:`batch_signature` digests exactly those fields
+of a :class:`~repro.graphs.batch.GraphBatch`, mirroring the
+bin-composition fingerprint :class:`repro.graphs.CollateCache` computes
+for batches, so the training loop's repeated shape buckets hit compiled
+plans with the same key discipline that already governs collation reuse.
+Content-derived keys make every invalidation event a *miss* (never a
+stale replay): a changed neighbor list, mutated positions, relabeled
+energies or a different dtype simply produce a different signature and
+trigger a fresh capture, while the stale entry ages out of the LRU.
+
+:class:`PlanCache` is the bounded LRU holding the plans, with hit /
+miss / capture / stale counters.  Hot-swapping a served model clears the
+engine's cache wholesale (see ``InferenceEngine.swap_model``); plans
+additionally pin their owning model so ``id(model)``-scoped keys can
+never be recycled into a collision while a plan is alive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+from .plan import CompiledPlan
+
+__all__ = ["PlanCache", "batch_signature", "resolve_plan_cache"]
+
+
+def resolve_plan_cache(value) -> Optional["PlanCache"]:
+    """Normalize a ``plan_cache``/``compiled`` constructor argument.
+
+    The shared convention across ``Trainer``, ``MACECalculator`` and
+    ``InferenceEngine``: ``"auto"`` (or ``True``) builds a fresh private
+    cache, ``None``/``False`` disables compiled execution, and an
+    existing :class:`PlanCache` is used as-is (sharing allowed).
+    """
+    if value is None or value is False:
+        return None
+    if value == "auto" or value is True:
+        return PlanCache()
+    if isinstance(value, PlanCache):
+        return value
+    raise TypeError(
+        f"plan cache must be 'auto', None, a bool or a PlanCache, got {value!r}"
+    )
+
+
+def _update(h, array: np.ndarray) -> None:
+    h.update(str(array.dtype).encode())
+    h.update(np.ascontiguousarray(array).tobytes())
+
+
+def batch_signature(
+    batch,
+    include_positions: bool = True,
+    include_labels: bool = False,
+) -> bytes:
+    """Digest of a batch's shape bucket for plan-cache keys.
+
+    Always covers the structural layout (species, graph membership, edge
+    index and shifts, counts) plus the position array's dtype, so a
+    dtype change can never replay a stale plan.  ``include_positions``
+    adds the position values — required for plans that folded geometry
+    as constants (energy and training-loss plans); force plans rebind
+    positions per replay and leave it off so an MD trajectory keeps
+    hitting one plan while its edge set is stable.  ``include_labels``
+    adds the energy labels (training-loss plans fold the targets).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(int(batch.n_graphs).to_bytes(8, "little", signed=False))
+    _update(h, batch.species)
+    _update(h, batch.graph_index)
+    _update(h, batch.edge_index)
+    _update(h, batch.edge_shift)
+    h.update(str(batch.positions.dtype).encode())
+    if include_positions:
+        _update(h, batch.positions)
+    if include_labels:
+        _update(h, batch.energies)
+    return h.digest()
+
+
+class PlanCache:
+    """Bounded LRU cache of :class:`CompiledPlan` objects.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached plans (least-recently-used eviction);
+        ``None`` means unbounded.
+
+    Attributes
+    ----------
+    hits, misses, captures, stale:
+        Counters: replay-served lookups, key misses, plans stored after
+        a fresh capture, and guard-rejected replays (``PlanStale``).
+    """
+
+    def __init__(self, maxsize: Optional[int] = 64) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None)")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.captures = 0
+        self.stale = 0
+        self._store: "OrderedDict[object, CompiledPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key) -> Optional[CompiledPlan]:
+        """The cached plan for ``key``, bumping recency; ``None`` on miss."""
+        plan = self._store.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._store.move_to_end(key)
+        return plan
+
+    def put(self, key, plan: CompiledPlan) -> CompiledPlan:
+        """Store a freshly captured plan (evicting LRU past ``maxsize``)."""
+        self.captures += 1
+        self._store[key] = plan
+        self._store.move_to_end(key)
+        if self.maxsize is not None and len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return plan
+
+    def invalidate(self, key) -> None:
+        """Drop one entry (called after a ``PlanStale`` replay guard)."""
+        self.stale += 1
+        self._store.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every plan (model hot-swap / registry publish path)."""
+        self._store.clear()
+
+    def stats(self) -> Dict[str, float]:
+        """Counters plus the resulting replay hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "captures": self.captures,
+            "stale": self.stale,
+            "size": len(self._store),
+            "hit_rate": self.hits / total if total else 0.0,
+        }

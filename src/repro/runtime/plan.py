@@ -1,0 +1,471 @@
+"""Tape capture and compiled replay of autograd execution plans.
+
+The eager engine in :mod:`repro.autograd.engine` pays per-op Python
+costs on every call: a :class:`~repro.autograd.engine.Function` object,
+``isinstance`` scans over the argument tuple, a fresh
+:class:`~repro.autograd.engine.Tensor` wrapper, and — on ``backward()``
+— a full topological sort plus ``id()``-keyed gradient dictionaries.
+Training steps, MD trajectories and serving micro-batches replay the
+*same* graph over fixed shape buckets thousands of times, so this module
+separates graph *capture* from graph *execution*:
+
+* :func:`record_tape` installs a :class:`TapeRecorder` into the engine;
+  one ordinary eager pass through any model code logs every Function
+  application (the function instance, its argument sources, its output).
+* :class:`CompiledPlan` lowers that tape into a static instruction list:
+  topo-ordered ``Function.forward`` calls with input slots resolved at
+  compile time, a mirrored reverse list of ``Function.backward`` calls
+  with gradient-accumulation targets resolved to preallocated buffers,
+  dead-node elimination for values nobody consumes, and constant folding
+  of subgraphs that depend on no replay input or parameter (for a
+  training-step plan this folds the whole edge-geometry pipeline —
+  spherical harmonics, Bessel features — which the eager loop recomputes
+  every step).
+* :meth:`CompiledPlan.replay` re-executes the plan on fresh input arrays
+  and freshly read parameter values with **no Tensor or tape
+  allocation**, after a guard pass that verifies input/parameter shapes
+  and dtypes still match the capture (:class:`PlanStale` on mismatch —
+  callers fall back to eager).
+
+Contract
+--------
+Replay runs the *identical* ``forward`` methods in the identical order
+as the capture, so forward outputs are bitwise equal to eager for equal
+inputs.  Backward contributions may accumulate in a different (still
+valid reverse-topological) order than the eager DFS, so gradients agree
+with eager to floating-point reassociation error (far below the 1e-10
+equivalence gate in ``benchmarks/bench_runtime.py``).  Parameters are
+*inputs* of every replay — their ``.data`` is re-read on each call, so
+in-place optimizer updates are always visible and never stale.  Gradient
+arrays written to ``param.grad`` (and returned input gradients) may
+alias the plan's reusable buffers: they are valid until the next replay
+of the same plan, which is the lifetime every in-repo consumer
+(optimizer step, DDP gradient copy, force integration) needs.  Replay
+*overwrites* ``.grad`` on its leaves rather than accumulating into
+pre-existing values; zero grads first (as ``Trainer`` does) when mixing
+eager and compiled steps.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import engine as _engine
+from ..autograd.engine import Tensor
+
+__all__ = ["PlanStale", "TapeRecorder", "record_tape", "CompiledPlan"]
+
+
+class PlanStale(RuntimeError):
+    """A compiled plan no longer matches its inputs/parameters.
+
+    Raised by the replay guard before any computation happens (shape or
+    dtype drift of an input array or a parameter, wrong input count).
+    Callers catch it, invalidate the cache entry and fall back to eager.
+    """
+
+
+class TapeRecorder:
+    """Collects ``(fn, args, kwargs, out)`` for every Function applied.
+
+    Strong references to the recorded tensors are held by the records
+    themselves (``fn.inputs`` and ``out``), so ``id()``-based slot
+    assignment in :class:`CompiledPlan` is collision-free for the tape's
+    lifetime.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[tuple] = []
+
+    def record(self, fn, args, kwargs, out) -> None:
+        self.records.append((fn, args, kwargs, out))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@contextlib.contextmanager
+def record_tape():
+    """Context manager recording every autograd op into a fresh tape.
+
+    Recording composes with ``no_grad()`` (capture an inference-only
+    plan) and with grad mode (capture a plan that can compile a
+    backward).  Nested recording is refused — a capture inside a capture
+    would attribute ops to the wrong plan.
+    """
+    recorder = TapeRecorder()
+    previous = _engine._set_recorder(recorder)
+    if previous is not None:  # pragma: no cover - defensive
+        _engine._set_recorder(previous)
+        raise RuntimeError("nested tape recording is not supported")
+    try:
+        yield recorder
+    finally:
+        _engine._set_recorder(None)
+
+
+class _ForwardInstr:
+    """One replayable forward call with compile-time-resolved inputs."""
+
+    __slots__ = ("fn", "call", "args", "bindings", "out_slot", "tensor_slots")
+
+    def __init__(self, fn, args, bindings, kwargs, out_slot, tensor_slots):
+        self.fn = fn
+        # kwargs are constants of the plan; bind them once so the replay
+        # loop is a plain positional call.
+        self.call = (
+            functools.partial(fn.forward, **kwargs) if kwargs else fn.forward
+        )
+        self.args = args  # positional template; Tensor positions rebound
+        self.bindings = bindings  # [(position, slot), ...]
+        self.out_slot = out_slot
+        self.tensor_slots = tensor_slots  # slots in Tensor-argument order
+
+
+class _BackwardInstr:
+    """One replayable backward call with grad-accumulation targets."""
+
+    __slots__ = ("call", "out_slot", "targets")
+
+    def __init__(self, fn, out_slot, targets):
+        self.call = fn.backward
+        self.out_slot = out_slot
+        # targets: [(grad_index, slot, buffer_or_None), ...] where
+        # grad_index indexes fn.backward's return tuple (Tensor-argument
+        # order, matching the eager engine's zip over fn.inputs).
+        self.targets = targets
+
+
+class CompiledPlan:
+    """A recorded autograd tape lowered to a static replay program.
+
+    Parameters
+    ----------
+    tape:
+        The :class:`TapeRecorder` of one eager pass.
+    outputs:
+        Tensors whose values each replay returns (in order).
+    seed:
+        Scalar tensor seeding the compiled backward (typically the loss
+        or the summed energy); ``None`` compiles a forward-only plan.
+    inputs:
+        Tensors rebound to fresh arrays on every replay (e.g. the MD
+        positions).  Inputs with ``requires_grad`` get their gradient
+        returned by :meth:`replay`.
+    grad_params:
+        Whether replay writes ``.grad`` on parameter leaves (trainable
+        leaf tensors encountered in the tape).  MD force plans disable
+        this: eager ``backward`` always drags gradients into the model
+        weights, the compiled plan prunes those branches.
+    owner:
+        Optional object (the model) pinned by the plan so ``id(owner)``
+        keys in a :class:`~repro.runtime.cache.PlanCache` cannot be
+        recycled while the plan is alive.
+
+    Notes
+    -----
+    Construct the plan *after* running any eager ``backward()`` on the
+    captured tensors — compilation strips ``fn.inputs`` from the
+    retained Functions to release the capture tape's memory.
+    """
+
+    def __init__(
+        self,
+        tape: TapeRecorder,
+        outputs: Sequence[Tensor],
+        seed: Optional[Tensor] = None,
+        inputs: Sequence[Tensor] = (),
+        grad_params: bool = True,
+        owner=None,
+    ) -> None:
+        self.owner = owner
+        records = tape.records
+        inputs = tuple(inputs)
+        input_ids = {id(t): i for i, t in enumerate(inputs)}
+
+        slot_of: Dict[int, int] = {}
+        kinds: List[str] = []  # 'const' | 'input' | 'param' | 'node'
+        tensors: List[Tensor] = []
+
+        def leaf_slot(t: Tensor) -> int:
+            slot = slot_of.get(id(t))
+            if slot is None:
+                slot = len(tensors)
+                slot_of[id(t)] = slot
+                tensors.append(t)
+                if id(t) in input_ids:
+                    kinds.append("input")
+                elif t.requires_grad:
+                    kinds.append("param")
+                else:
+                    kinds.append("const")
+            return slot
+
+        for t in inputs:  # register even if unused, so replay arity is fixed
+            leaf_slot(t)
+
+        instrs: List[_ForwardInstr] = []
+        for fn, args, kwargs, out in records:
+            template: List = []
+            bindings: List[Tuple[int, int]] = []
+            tensor_slots: List[int] = []
+            for position, a in enumerate(args):
+                if isinstance(a, Tensor):
+                    slot = leaf_slot(a)
+                    template.append(None)
+                    bindings.append((position, slot))
+                    tensor_slots.append(slot)
+                else:
+                    template.append(a)
+            out_slot = len(tensors)
+            slot_of[id(out)] = out_slot
+            tensors.append(out)
+            kinds.append("node")
+            instrs.append(
+                _ForwardInstr(fn, template, bindings, dict(kwargs), out_slot, tensor_slots)
+            )
+
+        for t in outputs:
+            leaf_slot(t)  # an output may be a leaf (degenerate plans)
+        if seed is not None:
+            leaf_slot(seed)
+        output_slots = [slot_of[id(t)] for t in outputs]
+        seed_slot = None if seed is None else slot_of[id(seed)]
+
+        # -- dead-node elimination: keep only ancestors of outputs/seed.
+        needed = set(output_slots)
+        if seed_slot is not None:
+            needed.add(seed_slot)
+        live = [False] * len(instrs)
+        for i in range(len(instrs) - 1, -1, -1):
+            if instrs[i].out_slot in needed:
+                live[i] = True
+                needed.update(instrs[i].tensor_slots)
+        self.n_recorded = len(instrs)
+        self.n_dead = live.count(False)
+
+        # -- constant folding: a node fed only by constants is itself a
+        # constant; its value was already computed during capture, so
+        # folding just reclassifies the slot and drops the instruction.
+        const = [k == "const" for k in kinds]
+        forward: List[_ForwardInstr] = []
+        for i, instr in enumerate(instrs):
+            if not live[i]:
+                continue
+            if all(const[s] for s in instr.tensor_slots):
+                const[instr.out_slot] = True
+                continue
+            forward.append(instr)
+        self.n_folded = live.count(True) - len(forward)
+        self._forward = forward
+
+        # -- values template: constants materialized once; computed,
+        # input and param slots filled per replay.  Only constants that
+        # replay actually reads are retained.
+        n_slots = len(tensors)
+        referenced = set(output_slots)
+        for instr in forward:
+            referenced.update(instr.tensor_slots)
+        values: List[Optional[np.ndarray]] = [None] * n_slots
+        for slot in referenced:
+            if const[slot]:
+                values[slot] = tensors[slot].data
+        self._values = values
+        self._n_slots = n_slots
+        self._output_slots = output_slots
+
+        # -- replay bindings for inputs and parameters (guard specs).
+        self._input_specs = [
+            (slot_of[id(t)], t.data.shape, t.data.dtype) for t in inputs
+        ]
+        param_slots = sorted(
+            {s for instr in forward for s in instr.tensor_slots if kinds[s] == "param"}
+        )
+        self._param_specs = [
+            (s, tensors[s], tensors[s].data.shape, tensors[s].data.dtype)
+            for s in param_slots
+        ]
+
+        # -- compiled backward: reversed instruction order is a valid
+        # reverse-topological order of the recorded DAG.
+        self._backward: Optional[List[_BackwardInstr]] = None
+        self._seed_slot = seed_slot
+        self._seed_grad: Optional[np.ndarray] = None
+        self._seed_buffer: Optional[np.ndarray] = None
+        self._param_grad_slots: List[Tuple[int, Tensor]] = []
+        self._input_grad_slots: List[Optional[int]] = []
+        if seed is not None:
+            wants = [False] * n_slots
+            for s in param_slots:
+                if grad_params:
+                    wants[s] = True
+            for t in inputs:
+                if t.requires_grad:
+                    wants[slot_of[id(t)]] = True
+            needs = list(wants)
+            for instr in forward:
+                if any(needs[s] for s in instr.tensor_slots):
+                    needs[instr.out_slot] = True
+
+            contributions = [0] * n_slots
+            contributions[seed_slot] += 1
+            backward: List[_BackwardInstr] = []
+            reachable = {seed_slot}
+            for instr in reversed(forward):
+                if instr.out_slot not in reachable:
+                    continue
+                targets = []
+                for grad_index, s in enumerate(instr.tensor_slots):
+                    if needs[s]:
+                        targets.append([grad_index, s, None])
+                        reachable.add(s)
+                        contributions[s] += 1
+                if targets:
+                    # Plan-private instances advertise which gradients are
+                    # consumed; heavy backward rules skip the rest (e.g.
+                    # no dY GEMMs when the spherical harmonics were
+                    # constant-folded, no weight gradients in force-only
+                    # plans).  Eager instances never carry a mask.
+                    instr.fn.grad_mask = tuple(
+                        needs[s] for s in instr.tensor_slots
+                    )
+                    backward.append(_BackwardInstr(instr.fn, instr.out_slot, targets))
+            # Preallocate accumulation buffers for multi-contributor slots.
+            buffers: Dict[int, np.ndarray] = {}
+            for instr in backward:
+                for target in instr.targets:
+                    s = target[1]
+                    if contributions[s] > 1:
+                        if s not in buffers:
+                            buffers[s] = np.empty(tensors[s].data.shape, dtype=np.float64)
+                        target[2] = buffers[s]
+                instr.targets = [tuple(t) for t in instr.targets]
+            self._backward = backward
+            self._seed_grad = np.ones(tensors[seed_slot].data.shape, dtype=np.float64)
+            if contributions[seed_slot] > 1:  # seed also receives graph grads
+                self._seed_buffer = np.empty_like(self._seed_grad)
+            else:
+                self._seed_buffer = None
+            self._param_grad_slots = [
+                (s, tensors[s]) for s in param_slots if grad_params and s in reachable
+            ]
+            self._input_grad_slots = [
+                slot_of[id(t)] if t.requires_grad else None for t in inputs
+            ]
+
+        # Release the capture tape: replay never reads fn.inputs, and the
+        # retained Functions would otherwise pin every capture Tensor.
+        # Activations (fn.saved, bound argument slots) are released too —
+        # here and again at the end of every replay — so a cached plan
+        # holds only constants, buffers and per-instance index/operator
+        # memos between calls, not a full forward's intermediates.
+        for instr in forward:
+            instr.fn.inputs = ()
+        self._release_activations()
+
+    def _release_activations(self) -> None:
+        for instr in self._forward:
+            instr.fn.saved = ()
+            args = instr.args
+            for position, _ in instr.bindings:
+                args[position] = None
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def n_forward_ops(self) -> int:
+        """Instructions executed per replay (after DCE + folding)."""
+        return len(self._forward)
+
+    @property
+    def n_backward_ops(self) -> int:
+        """Backward instructions per replay (0 for forward-only plans)."""
+        return 0 if self._backward is None else len(self._backward)
+
+    # -- execution --------------------------------------------------------------
+
+    def replay(
+        self, *inputs: np.ndarray, compute_grads: bool = True
+    ) -> Tuple[List[np.ndarray], List[Optional[np.ndarray]]]:
+        """Execute the plan on fresh inputs; returns (outputs, input grads).
+
+        Raises :class:`PlanStale` — before any computation — if the
+        input arrays or the bound parameters no longer match the shapes
+        and dtypes of the capture.  Parameter gradients (when compiled
+        with ``grad_params=True``) are written to each parameter's
+        ``.grad``; input gradients are returned aligned with ``inputs``
+        (``None`` for inputs that do not require grad or when
+        ``compute_grads=False``).
+        """
+        specs = self._input_specs
+        if len(inputs) != len(specs):
+            raise PlanStale(
+                f"plan expects {len(specs)} inputs, got {len(inputs)}"
+            )
+        values = self._values.copy()
+        for (slot, shape, dtype), array in zip(specs, inputs):
+            array = np.asarray(array)
+            if array.shape != shape or array.dtype != dtype:
+                raise PlanStale(
+                    f"input changed: captured {shape}/{dtype}, "
+                    f"got {array.shape}/{array.dtype}"
+                )
+            values[slot] = array
+        for slot, param, shape, dtype in self._param_specs:
+            data = param.data
+            if data.shape != shape or data.dtype != dtype:
+                raise PlanStale(
+                    f"parameter changed: captured {shape}/{dtype}, "
+                    f"got {data.shape}/{data.dtype}"
+                )
+            values[slot] = data
+
+        for instr in self._forward:
+            args = instr.args
+            for position, slot in instr.bindings:
+                args[position] = values[slot]
+            values[instr.out_slot] = instr.call(*args)
+
+        outputs = [values[s] for s in self._output_slots]
+        input_grads: List[Optional[np.ndarray]] = [None] * len(specs)
+        if compute_grads and self._backward is not None:
+            grads: List[Optional[np.ndarray]] = [None] * self._n_slots
+            if self._seed_buffer is not None:
+                self._seed_buffer[...] = self._seed_grad
+                grads[self._seed_slot] = self._seed_buffer
+            else:
+                grads[self._seed_slot] = self._seed_grad
+            for binstr in self._backward:
+                g = grads[binstr.out_slot]
+                if g is None:
+                    continue
+                in_grads = binstr.call(g)
+                for grad_index, slot, buffer in binstr.targets:
+                    ig = in_grads[grad_index]
+                    if ig is None:
+                        continue
+                    current = grads[slot]
+                    if current is None:
+                        if buffer is None:
+                            grads[slot] = np.asarray(ig, dtype=np.float64)
+                        else:
+                            buffer[...] = ig
+                            grads[slot] = buffer
+                    else:
+                        current += ig
+            for slot, param in self._param_grad_slots:
+                g = grads[slot]
+                if g is not None:
+                    param.grad = g
+            input_grads = [
+                None if slot is None else grads[slot]
+                for slot in self._input_grad_slots
+            ]
+        self._release_activations()
+        return outputs, input_grads

@@ -36,6 +36,7 @@ from ..graphs.molecular_graph import MolecularGraph
 from ..graphs.neighborlist import build_neighbor_list
 from ..graphs.pipeline import CollateCache
 from ..mace import MACE
+from ..runtime import resolve_plan_cache
 from .metrics import RequestRecord, ServingReport
 from .replica import Replica, ServiceModel
 from .scheduler import Scheduler, make_scheduler
@@ -68,6 +69,15 @@ class InferenceEngine:
         Admission deadline in seconds: a request is scheduled no later
         than ``arrival + max_wait`` — the latency/throughput knob of
         every batching server.
+    work_conserving:
+        With the default ``True``, a partial pending window is flushed
+        as soon as a replica is idle to take it, instead of always
+        waiting out the ``max_wait`` deadline: at light load every
+        request dispatches on arrival (p50 latency drops to the service
+        time), while under load replicas stay busy and the window still
+        accumulates into full micro-batches.  ``False`` restores the
+        pure deadline/overflow admission (useful to measure the
+        batching/latency trade-off in isolation).
     flush_window_tokens:
         Token size of the admission window; a flush also triggers when
         pending work would exceed it.  Defaults to one ``max_batch_tokens``
@@ -77,11 +87,24 @@ class InferenceEngine:
         Replica timing model.  ``workload_model`` defaults to
         :meth:`MACEWorkloadModel.from_config` of the served model so the
         roofline matches what is actually being run; ``variant`` defaults
-        to the model config's kernel variant.
+        to the model config's kernel variant.  ``gpu`` accepts either
+        one :class:`~repro.cluster.gpu.GPUSpec` (homogeneous pool) or a
+        sequence of ``n_replicas`` specs (heterogeneous pool); each
+        replica is costed and timed on its own spec, and the cost-aware
+        scheduler exploits the asymmetry through its per-replica
+        service estimates.
     collate_cache:
         Micro-batch assembly cache (default: a private
         :class:`~repro.graphs.CollateCache`); repeated compositions of
         hot molecules are collated once.
+    plan_cache:
+        :class:`~repro.runtime.PlanCache` for compiled model execution
+        (default ``"auto"``: a private cache).  With ``execute=True``,
+        hot micro-batch compositions replay a compiled plan instead of
+        rebuilding the eager tape; :meth:`swap_model` (and therefore
+        every registry deploy) clears the cache so a hot swap can never
+        replay plans captured against the previous model.  ``None``
+        disables compiled execution.
     execute:
         Run the real NumPy forward per micro-batch and fill per-request
         energies (True), or simulate timing only (False).
@@ -102,11 +125,13 @@ class InferenceEngine:
         max_batch_tokens: int = 512,
         max_batch_edges: Optional[int] = None,
         max_wait: float = 5e-3,
+        work_conserving: bool = True,
         flush_window_tokens: Optional[int] = None,
-        gpu: GPUSpec = A100,
+        gpu=A100,
         workload_model: Optional[MACEWorkloadModel] = None,
         variant: Optional[str] = None,
         collate_cache: Optional[CollateCache] = None,
+        plan_cache="auto",
         execute: bool = True,
         charge_host_forward: bool = False,
         slo_seconds: Optional[float] = None,
@@ -123,13 +148,23 @@ class InferenceEngine:
         for g in self.pool:
             if not g.has_edges:
                 build_neighbor_list(g, cutoff=model.cfg.cutoff)
-        self.replicas = [Replica(i) for i in range(n_replicas)]
+        if isinstance(gpu, GPUSpec):
+            gpus = [gpu] * n_replicas
+        else:
+            gpus = list(gpu)
+            if len(gpus) != n_replicas:
+                raise ValueError(
+                    f"gpu list has {len(gpus)} specs for {n_replicas} replicas"
+                )
+        self.gpus = gpus
+        self.replicas = [Replica(i, gpu=spec) for i, spec in enumerate(gpus)]
         self.scheduler: Scheduler = make_scheduler(scheduler)
         self.max_batch_tokens = int(max_batch_tokens)
         self.max_batch_edges = (
             None if max_batch_edges is None else int(max_batch_edges)
         )
         self.max_wait = float(max_wait)
+        self.work_conserving = bool(work_conserving)
         self.flush_window_tokens = (
             n_replicas * self.max_batch_tokens
             if flush_window_tokens is None
@@ -139,21 +174,31 @@ class InferenceEngine:
             raise ValueError(
                 "flush_window_tokens must be at least max_batch_tokens"
             )
-        self.service_model = ServiceModel(
-            workload_model=(
-                workload_model
-                if workload_model is not None
-                else MACEWorkloadModel.from_config(model.cfg)
-            ),
-            gpu=gpu,
-            variant=variant if variant is not None else model.cfg.kernel_variant,
+        wm = (
+            workload_model
+            if workload_model is not None
+            else MACEWorkloadModel.from_config(model.cfg)
         )
+        variant = variant if variant is not None else model.cfg.kernel_variant
+        self.service_models = [
+            ServiceModel(workload_model=wm, gpu=spec, variant=variant)
+            for spec in gpus
+        ]
+        # Homogeneous-pool shorthand kept for compatibility and for
+        # replica-agnostic estimates.
+        self.service_model = self.service_models[0]
         self.collate_cache = (
             collate_cache if collate_cache is not None else CollateCache()
         )
+        self.plan_cache = resolve_plan_cache(plan_cache)
         self.execute = execute
         self.charge_host_forward = charge_host_forward
         self.slo_seconds = slo_seconds
+        # Observed collate-cache hit rate (EMA over executed batches);
+        # starts pessimistic (0 = every batch collates from scratch) and
+        # sharpens estimate_service as traffic reveals hot molecules.
+        self.cache_hit_ema = 0.0
+        self._hit_ema_alpha = 0.2
 
     # -- model management ---------------------------------------------------------
 
@@ -163,7 +208,11 @@ class InferenceEngine:
         The swap is a single reference assignment between micro-batches:
         every batch is computed entirely by one model, never a mix.  The
         collate cache holds *inputs* (batches), not predictions, so no
-        invalidation is needed.
+        invalidation is needed — but the *plan* cache holds compiled
+        execution bound to the previous model's parameters, so it is
+        cleared: the first batch per shape bucket after a swap recaptures
+        against the new weights (every registry ``deploy`` routes through
+        here, so a publish can never replay stale plans).
         """
         if model.cfg.species != self.model.cfg.species:
             raise ValueError(
@@ -172,6 +221,8 @@ class InferenceEngine:
             )
         self.model = model
         self.model_version += 1
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
         return self.model_version
 
     def deploy(self, registry, name: str, version: Optional[int] = None) -> int:
@@ -196,15 +247,25 @@ class InferenceEngine:
         for g in graphs:
             if not g.has_edges:
                 build_neighbor_list(g, cutoff=self.model.cfg.cutoff)
-        return self.model.predict_energy(collate(graphs))
+        return self.model.predict_energy(collate(graphs), compiled=self.plan_cache)
 
-    def estimate_service(self, tokens: int, edges: int) -> float:
+    def estimate_service(
+        self, tokens: int, edges: int, replica: Optional[int] = None
+    ) -> float:
         """Predicted service seconds of a micro-batch (scheduler costing).
 
-        Deliberately assumes a collate-cache *miss*: schedulers cost the
-        pessimistic path, execution charges the true hit/miss.
+        ``replica`` selects that replica's own :class:`ServiceModel`
+        (heterogeneous pools cost differently per device); ``None`` uses
+        the pool's first spec.  The host-collate term is weighted by the
+        *observed* collate-cache hit rate (an EMA over executed batches)
+        instead of assuming a miss: under hot-molecule skew the real
+        host cost shrinks with every repeated composition, and the
+        schedulers' placement should see that.  The EMA starts at 0, so
+        a cold engine (and every ``execute=False`` simulation) costs the
+        pessimistic all-miss path exactly as before.
         """
-        return self.service_model.batch_seconds(tokens, edges, cache_hit=False)
+        sm = self.service_model if replica is None else self.service_models[replica]
+        return sm.batch_seconds(tokens, edges, hit_rate=self.cache_hit_ema)
 
     # -- serving ------------------------------------------------------------------
 
@@ -277,11 +338,16 @@ class InferenceEngine:
                     )
                     cache_hit = self.collate_cache.hits > h_before
                     t0 = perf_counter()
-                    energies = self.model.predict_energy(gb)
+                    energies = self.model.predict_energy(
+                        gb, compiled=self.plan_cache
+                    )
                     forward_dt = perf_counter() - t0
                     state["host_forward"] += forward_dt
-                service = self.service_model.batch_seconds(
-                    tokens, edges, cache_hit=cache_hit
+                    self.cache_hit_ema += self._hit_ema_alpha * (
+                        float(cache_hit) - self.cache_hit_ema
+                    )
+                service = self.service_models[j].batch_seconds(
+                    tokens, edges, hit_rate=1.0 if cache_hit else 0.0
                 )
                 if self.charge_host_forward:
                     service += forward_dt
@@ -313,12 +379,25 @@ class InferenceEngine:
         pending: List[TraceRequest] = []
         pending_tokens = 0
         queue_peak = 0
+        last_admit = 0.0
         i = 0
         while i < len(reqs) or pending:
             deadline = (
                 pending[0].arrival + self.max_wait if pending else math.inf
             )
             next_arrival = reqs[i].arrival if i < len(reqs) else math.inf
+            if self.work_conserving and pending:
+                # Work-conserving admission: the moment a replica is idle
+                # (which can be no earlier than the last admission), a
+                # partial window stops waiting for its deadline.  Ties
+                # with the next arrival go to admission, so co-arriving
+                # requests still batch together.
+                idle_at = min(rep.free_at for rep in self.replicas)
+                flush_at = max(idle_at, last_admit)
+                if flush_at < next_arrival and flush_at <= deadline:
+                    flush(pending, flush_at)
+                    pending, pending_tokens = [], 0
+                    continue
             if i < len(reqs) and next_arrival <= deadline:
                 r = reqs[i]
                 if pending and pending_tokens + r.tokens > self.flush_window_tokens:
@@ -329,6 +408,7 @@ class InferenceEngine:
                 pending.append(r)
                 pending_tokens += r.tokens
                 queue_peak = max(queue_peak, len(pending))
+                last_admit = r.arrival
                 i += 1
             else:
                 flush(pending, deadline)

@@ -14,6 +14,12 @@ out as ``root/<name>/v<NNNN>.npz``.  Three properties matter for serving:
   once.  Checkpoints are self-describing (config embedded), so a loaded
   model is bit-identical to the published one — the hot-swap parity the
   serving tests assert.
+
+Deploying a published version routes through
+``InferenceEngine.swap_model``, which also clears the engine's
+compiled-plan cache (:mod:`repro.runtime`): a publish can swap weights
+mid-traffic, but it can never leave a replica replaying execution plans
+captured against the previous model.
 """
 
 from __future__ import annotations

@@ -55,20 +55,26 @@ class ServiceModel:
             )[0]
         )
 
-    def host_seconds(self, tokens: int, edges: int, cache_hit: bool) -> float:
-        """Host-side batch construction time (collate or cache lookup)."""
+    def host_seconds(self, tokens: int, edges: int, hit_rate: float = 0.0) -> float:
+        """Host-side batch construction time (collate or cache lookup).
+
+        ``hit_rate`` is the collate-cache hit probability in ``[0, 1]``:
+        pass ``1.0``/``0.0`` (or a bool) for a known outcome when
+        charging an executed batch, or the engine's observed hit-rate
+        EMA when *estimating* for scheduling.
+        """
         return float(
             self.workload_model.host_collate_seconds(
                 np.array([float(tokens)]),
                 np.array([float(edges)]),
-                cache_hit_rate=1.0 if cache_hit else 0.0,
+                cache_hit_rate=float(hit_rate),
             )[0]
         )
 
-    def batch_seconds(self, tokens: int, edges: int, cache_hit: bool = False) -> float:
+    def batch_seconds(self, tokens: int, edges: int, hit_rate: float = 0.0) -> float:
         """Total modeled service time of one micro-batch."""
         return self.device_seconds(tokens, edges) + self.host_seconds(
-            tokens, edges, cache_hit
+            tokens, edges, hit_rate
         )
 
 
@@ -85,10 +91,15 @@ class Replica:
         minimizes.
     n_batches, n_requests, tokens_served:
         Volume counters.
+    gpu:
+        The :class:`~repro.cluster.gpu.GPUSpec` this replica emulates
+        (``None`` when the engine was built with a homogeneous spec);
+        heterogeneous pools give each replica its own.
     """
 
-    def __init__(self, replica_id: int) -> None:
+    def __init__(self, replica_id: int, gpu: GPUSpec = None) -> None:
         self.replica_id = int(replica_id)
+        self.gpu = gpu
         self.reset()
 
     def reset(self) -> None:

@@ -134,8 +134,10 @@ class LeastLoadedScheduler(Scheduler):
         ):
             j = min(range(len(replicas)), key=lambda k: (projected[k], k))
             out.append((batch, j))
+            # Per-replica estimate: a heterogeneous pool's slow device
+            # fills up in projection as fast as it would in reality.
             projected[j] += engine.estimate_service(
-                sum(r.tokens for r in batch), sum(r.edges for r in batch)
+                sum(r.tokens for r in batch), sum(r.edges for r in batch), replica=j
             )
         return out
 
@@ -183,28 +185,32 @@ class CostAwareScheduler(Scheduler):
                 )
             else:
                 batches.append(members)
-        costed = [
-            (
-                engine.estimate_service(
-                    sum(r.tokens for r in batch), sum(r.edges for r in batch)
-                ),
-                batch,
+        # Per-replica estimates: a heterogeneous pool serves the same
+        # batch at different speeds, and placement must predict each
+        # device's own finish time (the cost model already costs per
+        # GPUSpec; homogeneous pools reduce to the old single estimate).
+        n = len(replicas)
+        costed = []
+        for batch in batches:
+            tokens = sum(r.tokens for r in batch)
+            edges = sum(r.edges for r in batch)
+            costed.append(
+                ([engine.estimate_service(tokens, edges, replica=k) for k in range(n)], batch)
             )
-            for batch in batches
-        ]
         # LPT: biggest batches placed first keep the projected finish flat.
-        costed.sort(key=lambda item: -item[0])
+        costed.sort(key=lambda item: -max(item[0]))
         projected = [max(now, rep.free_at) for rep in replicas]
         busy = [rep.busy_seconds for rep in replicas]
         out: List[Assignment] = []
-        for est, batch in costed:
-            # Earliest predicted finish; ties (idle pool) go to the
-            # replica with the least cumulative work, so long-run busy
-            # seconds stay balanced even when the queue drains.
-            j = min(range(len(replicas)), key=lambda k: (projected[k], busy[k], k))
+        for ests, batch in costed:
+            # Earliest predicted *finish* on each device's own estimate;
+            # ties (idle pool, equal specs) go to the replica with the
+            # least cumulative work, so long-run busy seconds stay
+            # balanced even when the queue drains.
+            j = min(range(n), key=lambda k: (projected[k] + ests[k], busy[k], k))
             out.append((batch, j))
-            projected[j] += est
-            busy[j] += est
+            projected[j] += ests[j]
+            busy[j] += ests[j]
         return out
 
 

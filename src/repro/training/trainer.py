@@ -18,12 +18,20 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..autograd import Tensor, weighted_mse
+from ..autograd.engine import no_grad
 from ..data.labels import ReferencePotential, attach_labels
 from ..graphs.batch import GraphBatch, collate
 from ..graphs.molecular_graph import MolecularGraph
 from ..graphs.pipeline import CollateCache, epoch_plan_bins
 from ..mace import MACE
 from ..nn import Adam, ExponentialLR, ExponentialMovingAverage
+from ..runtime import (
+    CompiledPlan,
+    PlanStale,
+    batch_signature,
+    record_tape,
+    resolve_plan_cache,
+)
 
 __all__ = ["EnergyScaler", "Trainer", "TrainResult"]
 
@@ -99,6 +107,20 @@ class Trainer:
         The key's geometry/label fingerprint makes in-place dataset
         mutation a miss, never a stale read, and the loss is invariant to
         member order within a batch, so caching does not change training.
+    plan_cache:
+        :class:`repro.runtime.PlanCache` threading for compiled
+        loss-step execution.  The default ``"auto"`` gives the trainer a
+        private cache: the first step on each shape bucket (batch
+        composition + geometry + labels, the same fingerprint discipline
+        as the collate cache) runs eagerly while recording, every later
+        step replays the compiled plan — no tape construction, a
+        precompiled backward into reused gradient buffers, and the whole
+        edge-geometry pipeline (spherical harmonics, radial features)
+        folded out of the step since positions are constants of a
+        training batch.  Any mutation event (new composition, edited
+        geometry or labels, dtype drift, parameter shape change) misses
+        or fails the replay guard and falls back to eager + recapture —
+        never a stale replay.  Pass ``None`` to always run eagerly.
     """
 
     def __init__(
@@ -110,6 +132,7 @@ class Trainer:
         ema_decay: float = 0.99,
         loss_weighting: str = "per_atom",
         collate_cache="auto",
+        plan_cache="auto",
     ) -> None:
         if loss_weighting not in ("per_atom", "uniform"):
             raise ValueError(f"unknown loss weighting {loss_weighting!r}")
@@ -135,6 +158,7 @@ class Trainer:
         if collate_cache == "auto":
             collate_cache = CollateCache()
         self.collate_cache = collate_cache
+        self.plan_cache = resolve_plan_cache(plan_cache)
 
     # -- batching -----------------------------------------------------------------
 
@@ -172,17 +196,63 @@ class Trainer:
         weights = 1.0 / n_atoms if self.loss_weighting == "per_atom" else np.ones_like(n_atoms)
         return weighted_mse(pred_norm, target, weights)
 
+    def _loss_step(self, batch: GraphBatch, with_grads: bool = True) -> float:
+        """Loss of one batch, through the compiled-plan cache when attached.
+
+        With ``with_grads`` the parameters' ``.grad`` is populated (the
+        compiled replay overwrites it — callers zero first, as both step
+        entry points do).  The plan key is the batch's shape-bucket
+        signature (composition + geometry + labels + dtype): repeated
+        buckets replay, any mutation misses and recaptures, and a
+        guard-rejected replay (:class:`~repro.runtime.PlanStale`, e.g. a
+        parameter array swapped to a new shape/dtype) invalidates the
+        entry and falls back to eager.
+        """
+        cache = self.plan_cache
+        if cache is None:
+            return self._eager_loss(batch, with_grads)
+        key = (
+            self.loss_weighting,
+            batch_signature(batch, include_positions=True, include_labels=True),
+        )
+        plan = cache.get(key)
+        if plan is not None:
+            try:
+                (loss_value,), _ = plan.replay(compute_grads=with_grads)
+                return float(loss_value)
+            except PlanStale:
+                cache.invalidate(key)
+                return self._eager_loss(batch, with_grads)
+        with record_tape() as tape:
+            loss = self._batch_loss(batch)
+        if with_grads:
+            loss.backward()
+        cache.put(
+            key,
+            CompiledPlan(
+                tape, outputs=(loss,), seed=loss, grad_params=True, owner=self.model
+            ),
+        )
+        return loss.item()
+
+    def _eager_loss(self, batch: GraphBatch, with_grads: bool) -> float:
+        if with_grads:
+            loss = self._batch_loss(batch)
+            loss.backward()
+            return loss.item()
+        with no_grad():
+            return self._batch_loss(batch).item()
+
     # -- steps --------------------------------------------------------------------
 
     def train_step(self, batch_indices: Sequence[int], capacity: int = 0) -> float:
         """One optimizer step on one mini-batch; returns the loss."""
         batch = self._collate(batch_indices, capacity)
         self.optimizer.zero_grad()
-        loss = self._batch_loss(batch)
-        loss.backward()
+        loss = self._loss_step(batch)
         self.optimizer.step()
         self.ema.update()
-        return loss.item()
+        return loss
 
     def ddp_step(
         self, rank_batches: Sequence[Sequence[int]], capacity: int = 0
@@ -203,9 +273,7 @@ class Trainer:
                 continue
             batch = self._collate(batch_idx, capacity)
             self.model.zero_grad()
-            loss = self._batch_loss(batch)
-            loss.backward()
-            losses.append(loss.item())
+            losses.append(self._loss_step(batch))
             g = [
                 p.grad.copy() if p.grad is not None else np.zeros(p.shape)
                 for p in params
@@ -250,7 +318,11 @@ class Trainer:
             batch = self.collate_cache.get(graphs, range(len(graphs)))
         else:
             batch = collate(list(graphs))
-        return self._batch_loss(batch).item()
+        # The compiled path replays (or captures) forward-only; explicit
+        # validation sets ride through too — their content-derived plan
+        # key memoizes repeated evaluations of a stable set and misses
+        # on any change, mirroring the collate-cache policy above.
+        return self._loss_step(batch, with_grads=False)
 
     def freeze_representation(self) -> int:
         """Fine-tuning mode: keep only the readout heads and per-species

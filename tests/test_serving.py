@@ -350,3 +350,144 @@ class TestWorkloadModelServingSupport:
             full = PAPER_MODEL.step_times(A100, t, e, variant)
             assert np.all(fwd > 0)
             assert np.all(fwd < full)
+
+
+class TestWorkConservingAdmission:
+    def _light_trace(self, pool):
+        # Sparse arrivals: inter-arrival times far above service times,
+        # so every request meets an idle pool.
+        return generate_trace(pool, 30, rate=50.0, seed=9)
+
+    def test_light_load_p50_beats_deadline_wait(self, model, pool):
+        """The work-conserving regression gate: at light load, p50
+        latency drops from ~max_wait to ~service time because partial
+        windows flush the moment a replica is idle."""
+        kw = dict(
+            n_replicas=2,
+            max_batch_tokens=4096,
+            max_wait=2e-2,
+            flush_window_tokens=10**6,
+            execute=False,
+        )
+        trace = self._light_trace(pool)
+        wc = InferenceEngine(model, pool, **kw).serve(trace)
+        waiting = InferenceEngine(
+            model, pool, work_conserving=False, **kw
+        ).serve(trace)
+        p50_wc = wc.latency.p50
+        p50_wait = waiting.latency.p50
+        assert p50_wait >= 2e-2  # the old behavior waits out the deadline
+        assert p50_wc < 0.5 * p50_wait
+        # Dispatch is immediate: no request waits in the admission queue.
+        for rec in wc.records:
+            assert rec.dispatch - rec.arrival <= 1e-9
+
+    def test_deadline_still_bounds_delay_under_load(self, model, pool):
+        """Work conservation never extends the deadline guarantee."""
+        trace = generate_trace(pool, 60, rate=5000.0, seed=4)
+        engine = InferenceEngine(
+            model,
+            pool,
+            n_replicas=2,
+            max_batch_tokens=256,
+            max_wait=1e-3,
+            execute=False,
+        )
+        report = engine.serve(trace)
+        for rec in report.records:
+            assert rec.dispatch - rec.arrival <= 1e-3 + 1e-12
+
+    def test_busy_pool_still_batches(self, model, pool):
+        """Under heavy load the replicas stay busy, so work conservation
+        must not degrade into one-request batches."""
+        trace = generate_trace(pool, 80, rate=8000.0, seed=5)
+        engine = InferenceEngine(
+            model, pool, n_replicas=2, max_batch_tokens=256, execute=False
+        )
+        report = engine.serve(trace)
+        assert report.n_batches < report.n_requests / 2
+
+
+class TestHeterogeneousPools:
+    def _mixed_gpus(self, n_fast, n_slow):
+        from dataclasses import replace
+
+        from repro.cluster import A100
+
+        fast = replace(A100, saturation_tokens_fp32=64)
+        slow = replace(
+            fast,
+            name="A100-half",
+            sustained_flops=fast.sustained_flops / 2,
+            sustained_bandwidth=fast.sustained_bandwidth / 2,
+        )
+        return [fast] * n_fast + [slow] * n_slow
+
+    def test_gpu_list_builds_per_replica_service_models(self, model, pool):
+        gpus = self._mixed_gpus(1, 1)
+        engine = InferenceEngine(model, pool, n_replicas=2, gpu=gpus, execute=False)
+        assert [rep.gpu for rep in engine.replicas] == gpus
+        fast = engine.estimate_service(300, 3000, replica=0)
+        slow = engine.estimate_service(300, 3000, replica=1)
+        assert slow > fast  # the half-speed device really costs more
+
+    def test_gpu_list_length_mismatch_rejected(self, model, pool):
+        with pytest.raises(ValueError, match="specs for"):
+            InferenceEngine(
+                model, pool, n_replicas=3, gpu=self._mixed_gpus(1, 1), execute=False
+            )
+
+    def test_cost_aware_exploits_asymmetry(self, model, pool):
+        """On a mixed fleet the cost-aware scheduler (which predicts
+        per-replica finish times) must beat round-robin (which ignores
+        them) on tail latency."""
+        from repro.serving import build_request_pool
+
+        big_pool = build_request_pool(24, seed=3, max_atoms=72)
+        trace = generate_trace(big_pool, 300, rate=2500.0, process="bursty", seed=2)
+        reports = compare_policies(
+            model,
+            big_pool,
+            trace,
+            policies=("round-robin", "cost-aware"),
+            n_replicas=4,
+            gpu=self._mixed_gpus(2, 2),
+            max_batch_tokens=384,
+            max_wait=1e-2,
+            workload_model=PAPER_MODEL,
+            execute=False,
+        )
+        rr, ca = reports["round-robin"], reports["cost-aware"]
+        assert ca.latency.p99 < rr.latency.p99
+        assert ca.throughput_rps >= rr.throughput_rps * 0.999
+
+
+class TestHitRateSharpenedEstimates:
+    def test_estimate_starts_pessimistic(self, model, pool):
+        engine = InferenceEngine(model, pool, n_replicas=2, execute=False)
+        assert engine.cache_hit_ema == 0.0
+        miss_cost = engine.service_model.batch_seconds(300, 3000, hit_rate=0.0)
+        assert engine.estimate_service(300, 3000) == pytest.approx(miss_cost)
+
+    def test_hot_traffic_raises_ema_and_lowers_estimate(self, model, pool):
+        w = np.zeros(len(pool))
+        w[2] = w[5] = 0.5
+        trace = generate_trace(pool, 60, rate=5000.0, seed=1, weights=w)
+        engine = InferenceEngine(
+            model, pool, n_replicas=2, max_batch_tokens=96, execute=True
+        )
+        cold = engine.estimate_service(300, 3000)
+        engine.serve(trace)
+        assert engine.cache_hit_ema > 0.0
+        warm = engine.estimate_service(300, 3000)
+        assert warm < cold  # observed hits sharpen the placement estimate
+        # And the EMA tracks the collate cache's own statistics direction.
+        assert engine.collate_cache.hits > 0
+
+    def test_simulated_serves_never_move_the_ema(self, model, pool):
+        trace = generate_trace(pool, 40, rate=2000.0, seed=8)
+        engine = InferenceEngine(
+            model, pool, n_replicas=2, max_batch_tokens=128, execute=False
+        )
+        engine.serve(trace)
+        assert engine.cache_hit_ema == 0.0  # execute=False: nothing observed
