@@ -15,6 +15,9 @@ for:
    topological sort).
 3. **Fallback** — eager remains the default-correct path: a replay
    guard rejection falls back to eager and produces the same numbers.
+4. **Verification cost** — the static plan verifier (``repro.analysis``)
+   runs once per cache insertion; it must stay under 10% of the cost of
+   building the plan it checks, and must never run on the replay path.
 
 Timing compares two identical trainers on identical batch sequences:
 ``plan_cache=None`` (eager tape every step) vs the default plan cache
@@ -122,6 +125,58 @@ def _fallback(graphs) -> None:
     print(f"[runtime] fallback: guard tripped on dtype drift, eager result |dE| {d:.1e}")
 
 
+def _verification(graphs) -> None:
+    from repro.analysis.verifier import verify_plan
+    from repro.autograd import Tensor
+    from repro.runtime import CompiledPlan, record_tape
+
+    model = MACE(CFG, seed=3)
+    batch = collate(graphs[:2])
+
+    def capture():
+        # The full insert path a cache miss pays: eager capture pass,
+        # eager backward, then lowering the tape to a replay program.
+        positions = Tensor(batch.positions.copy(), requires_grad=True)
+        with record_tape() as tape:
+            energies = model.forward(batch, positions=positions)
+            total = energies.sum()
+        total.backward()
+        return CompiledPlan(
+            tape,
+            outputs=(energies,),
+            seed=total,
+            inputs=(positions,),
+            grad_params=False,
+            owner=model,
+        )
+
+    plan = capture()
+    t_build = min(timeit.repeat(capture, number=1, repeat=5))
+    t_verify = min(timeit.repeat(lambda: verify_plan(plan), number=1, repeat=5))
+    ratio = t_verify / t_build
+    checks = verify_plan(plan)
+    print(
+        f"[runtime] verifier: {checks['forward_ops']}+{checks['backward_ops']} ops, "
+        f"{checks['specs_checked']} specs in {t_verify * 1e3:.2f} ms "
+        f"vs {t_build * 1e3:.2f} ms plan build ({ratio:.1%} of build)"
+    )
+    assert ratio < 0.10, (
+        f"verified insert must cost < 10% of plan build, measured {ratio:.1%}"
+    )
+
+    # Verification happens once at insertion and never again: replays
+    # must not touch the verifier at all.
+    cache = PlanCache()
+    model.energy_and_forces(batch, compiled=cache)  # capture + verified insert
+    assert cache.stats()["verified"] == 1, "insert did not verify the plan"
+    for _ in range(5):
+        model.energy_and_forces(batch, compiled=cache)
+    stats = cache.stats()
+    assert stats["verified"] == 1, "verifier ran on the replay path"
+    assert stats["hits"] == 5
+    print("[runtime] verifier: 1 verified insert, 0 re-verifications over 5 replays")
+
+
 def _speed(graphs, repeats: int, loops: int, attempts: int) -> None:
     batches = [[0, 1, 2], [3, 4, 5]]
     eager = Trainer(MACE(CFG, seed=0), graphs, plan_cache=None)
@@ -194,6 +249,7 @@ def main(argv=None) -> int:
     graphs = _dataset()
     _equivalence(graphs)
     _fallback(graphs)
+    _verification(graphs)
     if args.smoke:
         _speed(graphs, repeats=5, loops=3, attempts=3)
     else:

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 test suite plus the pipeline, kernel, serving and
-# runtime smoke benchmarks, so correctness *and* perf regressions in the
-# graph pipeline, the model-forward hot kernels, the serving scheduler
-# and the compiled-plan runtime are catchable from one command.
+# Repo check: invariant linter, tier-1 test suite, plus the pipeline,
+# kernel, serving and runtime smoke benchmarks, so correctness *and*
+# perf regressions in the graph pipeline, the model-forward hot kernels,
+# the serving scheduler and the compiled-plan runtime are catchable from
+# one command.  The linter runs first: it is the cheapest check and its
+# findings (mutated Function inputs, unguarded id() keys, scatter loops
+# in hot paths) usually explain downstream test failures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+python -m repro.analysis.lint src/
 python -m pytest -x -q
 python benchmarks/bench_pipeline.py --smoke
 python benchmarks/bench_kernels.py --smoke

@@ -1,0 +1,30 @@
+"""Static analyses over compiled plans and the codebase itself.
+
+Three passes (see ``README.md`` in this directory):
+
+* :mod:`repro.analysis.specs` / :mod:`repro.analysis.verifier` — per-op
+  shape/dtype inference driving :func:`verify_plan`, the static
+  consistency check every :class:`~repro.runtime.cache.PlanCache` runs
+  on insertion (``verify="auto"``).
+* :mod:`repro.analysis.liveness` — buffer lifetimes, view aliasing,
+  peak-memory estimate and legal donation pairs
+  (``python -m repro.cli plan-report``).
+* :mod:`repro.analysis.lint` — the repo-invariant linter
+  (``python -m repro.analysis.lint src/``).
+"""
+
+from .liveness import LivenessReport, analyze_liveness
+from .specs import ArraySpec, SpecError, infer_output_spec, register_spec, spec_of
+from .verifier import PlanInvalid, verify_plan
+
+__all__ = [
+    "ArraySpec",
+    "SpecError",
+    "infer_output_spec",
+    "register_spec",
+    "spec_of",
+    "PlanInvalid",
+    "verify_plan",
+    "LivenessReport",
+    "analyze_liveness",
+]

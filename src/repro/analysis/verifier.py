@@ -1,0 +1,286 @@
+"""Static consistency verification of compiled plans.
+
+:func:`verify_plan` walks a :class:`~repro.runtime.plan.CompiledPlan`'s
+instruction lists without executing anything and proves, against the
+build metadata the plan recorded (:class:`~repro.runtime.plan.PlanMeta`):
+
+* **def-before-use** — every slot an instruction consumes is a
+  materialized constant, a guarded input/parameter, or the output of an
+  earlier instruction; every output slot is defined exactly once;
+* **shape/dtype agreement** — the output spec inferred by the per-op
+  rules in :mod:`repro.analysis.specs` matches the buffer recorded at
+  capture, for every instruction;
+* **guard coverage** — every input and parameter slot the forward
+  program reads appears in the replay guard specs, so no array that can
+  affect replay escapes the staleness check;
+* **backward integrity** — the compiled backward visits instructions in
+  reverse-topological order, each gradient target maps back to the
+  matching forward operand, and every preallocated accumulation buffer
+  (and the seed) has the shape/dtype of the forward value it is the
+  gradient of;
+* **elimination audit** — dead-node elimination dropped only
+  instructions whose output nothing live consumes, and constant folding
+  reclassified only all-constant subgraphs.
+
+A violation raises :class:`PlanInvalid`, whose message pinpoints the
+offending instruction (``forward[12] Mul: ...``).  Verification is pure
+inspection: it allocates nothing input-sized and is intended to run once
+per plan at cache-insertion time (see ``PlanCache(verify="auto")``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from .specs import ArraySpec, SpecError, infer_output_spec
+
+__all__ = ["PlanInvalid", "verify_plan"]
+
+
+class PlanInvalid(RuntimeError):
+    """A compiled plan failed static verification.
+
+    ``location`` names the offending instruction (``forward[i] OpName``,
+    ``backward[j] OpName``) or ``"plan"`` for whole-plan inconsistencies.
+    """
+
+    def __init__(self, location: str, message: str) -> None:
+        super().__init__(f"{location}: {message}")
+        self.location = location
+
+
+def _fail(location: str, message: str) -> None:
+    raise PlanInvalid(location, message)
+
+
+def _op_name(instr) -> str:
+    return type(instr.fn).__name__
+
+
+def verify_plan(plan, strict: bool = True) -> Dict[str, int]:
+    """Statically verify ``plan``; returns check counters on success.
+
+    With ``strict=True`` (the default) an instruction whose Function has
+    no registered inference rule is itself an error; ``strict=False``
+    skips shape/dtype inference for such ops but still runs every
+    structural check.
+    """
+    meta = getattr(plan, "meta", None)
+    if meta is None:
+        _fail("plan", "no build metadata (plan predates repro.analysis)")
+
+    n_slots = plan._n_slots
+    if not (
+        len(meta.slot_shapes) == len(meta.slot_dtypes) == len(meta.kinds)
+        == len(meta.const) == n_slots == len(plan._values)
+    ):
+        _fail("plan", "metadata tables disagree on slot count")
+
+    # -- materialized constants match their recorded specs.
+    for slot, value in enumerate(plan._values):
+        if value is None:
+            continue
+        if not meta.const[slot]:
+            _fail("plan", f"slot {slot} is materialized but not marked constant")
+        if value.shape != meta.slot_shapes[slot] or value.dtype != meta.slot_dtypes[slot]:
+            _fail(
+                "plan",
+                f"constant slot {slot} holds {value.shape}/{value.dtype}, "
+                f"recorded {meta.slot_shapes[slot]}/{meta.slot_dtypes[slot]}",
+            )
+
+    # -- guard specs agree with the metadata.
+    input_slots: Set[int] = set()
+    for slot, shape, dtype in plan._input_specs:
+        input_slots.add(slot)
+        if meta.kinds[slot] != "input":
+            _fail("plan", f"input guard covers slot {slot} of kind {meta.kinds[slot]!r}")
+        if shape != meta.slot_shapes[slot] or dtype != meta.slot_dtypes[slot]:
+            _fail("plan", f"input guard for slot {slot} disagrees with capture")
+    param_slots: Set[int] = set()
+    for entry in plan._param_specs:
+        slot, _, shape, dtype = entry
+        param_slots.add(slot)
+        if meta.kinds[slot] != "param":
+            _fail("plan", f"param guard covers slot {slot} of kind {meta.kinds[slot]!r}")
+        if shape != meta.slot_shapes[slot] or dtype != meta.slot_dtypes[slot]:
+            _fail("plan", f"param guard for slot {slot} disagrees with capture")
+
+    defined: Set[int] = set(input_slots) | set(param_slots)
+    defined.update(slot for slot, value in enumerate(plan._values) if value is not None)
+
+    # -- forward walk: def-before-use, guard coverage, spec inference.
+    specs_checked = 0
+    for i, instr in enumerate(plan._forward):
+        where = f"forward[{i}] {_op_name(instr)}"
+        bound = {slot for _, slot in instr.bindings}
+        if bound != set(instr.tensor_slots):
+            _fail(where, "bindings and tensor_slots disagree")
+        for slot in instr.tensor_slots:
+            if not 0 <= slot < n_slots:
+                _fail(where, f"reads slot {slot} outside the value table (0..{n_slots - 1})")
+            if slot not in defined:
+                kind = meta.kinds[slot]
+                if kind == "input":
+                    _fail(where, f"input slot {slot} has no replay guard (missing guard)")
+                if kind == "param":
+                    _fail(where, f"parameter slot {slot} has no replay guard (missing guard)")
+                _fail(where, f"reads slot {slot} before it is defined (dangling slot)")
+        out = instr.out_slot
+        if not 0 <= out < n_slots:
+            _fail(where, f"writes slot {out} outside the value table")
+        if out in defined:
+            _fail(where, f"slot {out} defined twice")
+        if meta.kinds[out] != "node":
+            _fail(where, f"writes slot {out} of kind {meta.kinds[out]!r}")
+        if meta.const[out]:
+            _fail(where, f"writes slot {out} that folding marked constant")
+        if instr.tensor_slots and all(meta.const[s] for s in instr.tensor_slots):
+            _fail(where, "all operands constant — folding should have removed this")
+
+        rule_args = list(instr.args)
+        try:
+            for position, slot in instr.bindings:
+                rule_args[position] = ArraySpec(
+                    meta.slot_shapes[slot], meta.slot_dtypes[slot]
+                )
+            inferred = infer_output_spec(instr.fn, rule_args, instr.kwargs)
+        except SpecError as exc:
+            if strict:
+                _fail(where, str(exc))
+            inferred = None
+        if inferred is not None:
+            recorded = ArraySpec(meta.slot_shapes[out], meta.slot_dtypes[out])
+            if inferred.shape != recorded.shape:
+                _fail(
+                    where,
+                    f"inferred output shape {inferred.shape} but recorded "
+                    f"buffer is {recorded.shape}",
+                )
+            if inferred.dtype != recorded.dtype:
+                _fail(
+                    where,
+                    f"inferred output dtype {inferred.dtype} but recorded "
+                    f"buffer is {recorded.dtype}",
+                )
+            specs_checked += 1
+        defined.add(out)
+
+    for slot in plan._output_slots:
+        if slot not in defined:
+            _fail("plan", f"output slot {slot} is never defined")
+
+    # -- elimination audit.
+    consumed: Set[int] = set(plan._output_slots)
+    if plan._seed_slot is not None:
+        consumed.add(plan._seed_slot)
+    for instr in plan._forward:
+        consumed.update(instr.tensor_slots)
+    for name, out_slot, tensor_slots in meta.dropped:
+        if out_slot in consumed:
+            _fail(
+                "plan",
+                f"DCE dropped {name} producing slot {out_slot}, which the "
+                f"live program still consumes",
+            )
+    for name, out_slot, tensor_slots in meta.folded:
+        if not all(meta.const[s] for s in tensor_slots):
+            _fail(
+                "plan",
+                f"folding removed {name} producing slot {out_slot} although "
+                f"not all of its operands are constant",
+            )
+        if not meta.const[out_slot]:
+            _fail("plan", f"folded slot {out_slot} is not marked constant")
+
+    # -- backward program.
+    n_backward = 0
+    if plan._backward is not None:
+        seed = plan._seed_slot
+        where = "plan"
+        if seed is None or seed not in defined:
+            _fail(where, f"backward seed slot {seed} is never defined")
+        if plan._seed_grad.shape != meta.slot_shapes[seed]:
+            _fail(
+                where,
+                f"seed gradient shape {plan._seed_grad.shape} != seed value "
+                f"shape {meta.slot_shapes[seed]} (bad grad shape)",
+            )
+        if plan._seed_buffer is not None and (
+            plan._seed_buffer.shape != meta.slot_shapes[seed]
+        ):
+            _fail(where, "seed accumulation buffer shape mismatch (bad grad shape)")
+
+        # Function instances are pinned by plan._forward while we verify,
+        # so their id()s cannot be recycled mid-walk.
+        forward_of = {
+            id(instr.fn): (i, instr)  # lint: allow-id-keyed-dict
+            for i, instr in enumerate(plan._forward)
+        }
+        grad_defined: Set[int] = {seed}
+        previous_index = len(plan._forward)
+        for j, binstr in enumerate(plan._backward):
+            fn = getattr(binstr.call, "__self__", None)
+            entry = forward_of.get(id(fn))  # lint: allow-id-keyed-dict
+            if entry is None:
+                _fail(f"backward[{j}]", "no matching forward instruction")
+            i, fwd = entry
+            where = f"backward[{j}] {_op_name(fwd)}"
+            if i >= previous_index:
+                _fail(where, "backward instructions are not in reverse-topological order")
+            previous_index = i
+            if binstr.out_slot != fwd.out_slot:
+                _fail(
+                    where,
+                    f"consumes gradient of slot {binstr.out_slot} but its "
+                    f"forward produced slot {fwd.out_slot}",
+                )
+            if binstr.out_slot not in grad_defined:
+                _fail(
+                    where,
+                    f"gradient of slot {binstr.out_slot} is consumed before "
+                    f"any contribution reaches it",
+                )
+            for grad_index, slot, buffer in binstr.targets:
+                if not 0 <= grad_index < len(fwd.tensor_slots):
+                    _fail(where, f"gradient index {grad_index} out of range")
+                if slot != fwd.tensor_slots[grad_index]:
+                    _fail(
+                        where,
+                        f"gradient {grad_index} targets slot {slot} but the "
+                        f"forward operand lives in slot {fwd.tensor_slots[grad_index]}",
+                    )
+                if buffer is not None:
+                    if buffer.shape != meta.slot_shapes[slot]:
+                        _fail(
+                            where,
+                            f"gradient buffer for slot {slot} has shape "
+                            f"{buffer.shape} but the forward value is "
+                            f"{meta.slot_shapes[slot]} (bad grad shape)",
+                        )
+                    if buffer.dtype != np.float64:
+                        _fail(
+                            where,
+                            f"gradient buffer for slot {slot} is {buffer.dtype}, "
+                            f"expected float64",
+                        )
+                grad_defined.add(slot)
+            n_backward += 1
+
+        for slot, param in plan._param_grad_slots:
+            if slot not in param_slots:
+                _fail("plan", f"parameter gradient slot {slot} is not a guarded parameter")
+            if slot not in grad_defined:
+                _fail("plan", f"parameter gradient slot {slot} never receives a gradient")
+        for slot in plan._input_grad_slots:
+            if slot is not None and slot not in input_slots:
+                _fail("plan", f"input gradient slot {slot} is not a guarded input")
+
+    return {
+        "forward_ops": len(plan._forward),
+        "backward_ops": n_backward,
+        "specs_checked": specs_checked,
+        "slots": n_slots,
+    }

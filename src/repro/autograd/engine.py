@@ -19,6 +19,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import itertools
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -26,6 +27,12 @@ import numpy as np
 __all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled", "as_tensor"]
 
 _GRAD_ENABLED = [True]
+
+# Monotonic tensor serial numbers.  Every Tensor gets the next value at
+# construction; unlike ``id()`` a serial is never recycled, so serials
+# are safe dictionary keys for bookkeeping that outlives the tensors
+# (eager backward below, slot assignment in repro.runtime.plan).
+_SERIALS = itertools.count()
 
 # Active tape recorder (see repro.runtime).  When set, every Function
 # application is reported to it so a CompiledPlan can be built from one
@@ -91,9 +98,19 @@ class Function:
     consumes (constant-folded operands, pruned parameter branches);
     honoring the mask is optional and purely an optimization, since the
     caller drops unrequested gradients either way.
+
+    ``infer_spec`` is an optional static shape/dtype rule consumed by the
+    plan verifier (:mod:`repro.analysis`): a callable taking
+    ``(abstract_args, kwargs)`` — the positional argument list with
+    tensor positions replaced by ``repro.analysis.specs.ArraySpec`` —
+    and returning the output ``ArraySpec``.  Ops defined inside the
+    repository are covered by the registry in
+    :mod:`repro.analysis.specs`; third-party Functions can either set
+    this attribute or call ``repro.analysis.register_spec``.
     """
 
     grad_mask: Optional[Tuple[bool, ...]] = None
+    infer_spec: Optional[Callable] = None
 
     def __init__(self) -> None:
         self.inputs: Tuple["Tensor", ...] = ()
@@ -136,7 +153,7 @@ class Tensor:
         Whether gradients should accumulate in ``.grad`` on backward.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_ctx")
+    __slots__ = ("data", "grad", "requires_grad", "_ctx", "_serial")
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 
     def __init__(self, data, requires_grad: bool = False) -> None:
@@ -150,6 +167,7 @@ class Tensor:
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._ctx: Optional[Function] = None
+        self._serial: int = next(_SERIALS)
 
     # -- basic introspection ----------------------------------------------------
 
@@ -168,6 +186,11 @@ class Tensor:
     @property
     def dtype(self):
         return self.data.dtype
+
+    @property
+    def serial(self) -> int:
+        """Monotonic creation serial — a never-recycled identity key."""
+        return self._serial
 
     def numpy(self) -> np.ndarray:
         """The underlying array (no copy)."""
@@ -200,7 +223,10 @@ class Tensor:
             raise ValueError(f"gradient shape {grad.shape} != output shape {self.shape}")
 
         # Iterative post-order DFS: deep op chains (thousands of nodes)
-        # must not hit Python's recursion limit.
+        # must not hit Python's recursion limit.  Bookkeeping is keyed on
+        # tensor serial numbers, not id(): serials are never recycled, so
+        # the dictionaries stay collision-free even if the allocator
+        # reuses a freed tensor's address mid-sweep.
         topo: List[Tensor] = []
         visited = set()
         stack: List[Tuple[Tensor, bool]] = [(self, False)]
@@ -211,16 +237,16 @@ class Tensor:
             if expanded:
                 topo.append(node)
                 continue
-            if id(node) in visited:
+            if node._serial in visited:
                 continue
-            visited.add(id(node))
+            visited.add(node._serial)
             stack.append((node, True))
             for parent in node._ctx.inputs:
                 stack.append((parent, False))
 
-        grads: dict = {id(self): grad}
+        grads: dict = {self._serial: grad}
         for node in reversed(topo):
-            g = grads.pop(id(node), None)
+            g = grads.pop(node._serial, None)
             if g is None:
                 continue
             ctx = node._ctx
@@ -234,7 +260,7 @@ class Tensor:
                         parent.grad = np.zeros(parent.shape, dtype=np.float64)
                     parent.grad += ig
                 if parent._ctx is not None:
-                    key = id(parent)
+                    key = parent._serial
                     if key in grads:
                         grads[key] = grads[key] + ig
                     else:

@@ -16,6 +16,11 @@ Commands
     Serve a synthetic inference trace through the batched engine and
     compare scheduling policies (round-robin / least-loaded / cost-aware)
     on tail latency, throughput and replica balance.
+``plan-report``
+    Capture compiled plans (training step, force and energy inference)
+    on a synthetic batch, verify them statically, and print the
+    liveness/aliasing report with legal buffer-donation pairs — the
+    artifact the arena-planning work consumes.
 """
 
 from __future__ import annotations
@@ -215,6 +220,54 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_report(args: argparse.Namespace) -> int:
+    from .analysis import analyze_liveness, verify_plan
+    from .data import attach_labels, build_training_set
+    from .graphs.batch import collate
+    from .mace import MACE, MACEConfig
+    from .runtime import PlanCache
+    from .training import Trainer
+
+    graphs = attach_labels(
+        build_training_set(args.samples, seed=args.seed, max_atoms=args.max_atoms)
+    )
+    cfg = MACEConfig(
+        num_channels=args.channels, lmax_sh=2, l_atomic_basis=2, correlation=2
+    )
+    model = MACE(cfg, seed=args.seed)
+    batch = collate(graphs[: min(2, len(graphs))])
+
+    plans = []
+    if args.plan in ("train", "all"):
+        trainer = Trainer(model, graphs, plan_cache=PlanCache())
+        trainer._loss_step(batch)
+        plans.extend(
+            ("training step", p) for p in trainer.plan_cache._store.values()
+        )
+    if args.plan in ("forces", "all"):
+        cache = PlanCache()
+        model.energy_and_forces(batch, compiled=cache)
+        plans.extend(("forces", p) for p in cache._store.values())
+    if args.plan in ("energy", "all"):
+        cache = PlanCache()
+        model.predict_energy(batch, compiled=cache)
+        plans.extend(("energy inference", p) for p in cache._store.values())
+
+    for label, plan in plans:
+        stats = verify_plan(plan)
+        report = analyze_liveness(plan)
+        print("=" * 72)
+        print(
+            f"{label} plan — verified: {stats['forward_ops']} forward / "
+            f"{stats['backward_ops']} backward instructions, "
+            f"{stats['specs_checked']} output specs checked"
+        )
+        print("=" * 72)
+        print(report.format())
+        print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -332,6 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_plan = sub.add_parser(
+        "plan-report",
+        help="verify compiled plans and print the liveness/donation report",
+        description=(
+            "Capture compiled plans on a synthetic batch, run the static "
+            "verifier (repro.analysis) and print buffer liveness, alias "
+            "classes, the peak-memory estimate and legal donation pairs."
+        ),
+    )
+    p_plan.add_argument(
+        "--plan",
+        choices=["train", "forces", "energy", "all"],
+        default="all",
+        help="which plan(s) to capture and analyze (default all)",
+    )
+    p_plan.add_argument("--samples", type=int, default=4)
+    p_plan.add_argument("--channels", type=int, default=4)
+    p_plan.add_argument("--max-atoms", type=int, default=40)
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.set_defaults(fn=_cmd_plan_report)
     return parser
 
 

@@ -170,7 +170,9 @@ def channelwise_tp_table(l1max: int, l2max: int, l3max: int) -> ChannelwiseTPTab
     pair_path = (pair_codes % n_paths).astype(np.int64)
     n_pairs = pair_codes.size
     reduce_y = np.zeros((sh_dim(l1max), n_pairs * d3))
-    np.add.at(reduce_y, (i1, entry_pair * d3 + i3), vals)
+    # One-time table construction over the tiny CG entry list, not a
+    # per-edge hot path.
+    np.add.at(reduce_y, (i1, entry_pair * d3 + i3), vals)  # lint: allow-hot-loop-scatter
     rows = np.arange(n_pairs)
     scatter_h = np.zeros((n_pairs, sh_dim(l2max)))
     scatter_h[rows, pair_i2] = 1.0

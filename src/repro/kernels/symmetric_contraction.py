@@ -249,7 +249,9 @@ def _build_prefix_plan(
     tuples, tup_map = np.unique(factor_idx, axis=0, return_inverse=True)
     n_tup = tuples.shape[0]
     V = np.zeros((n_tup, n_paths * (2 * L + 1)))
-    np.add.at(V, (tup_map, path_idx * (2 * L + 1) + M_idx), values)
+    # One-time coupling-table construction (cached per (lmax, nu, L)),
+    # sized by CG nonzeros — not a per-atom hot path.
+    np.add.at(V, (tup_map, path_idx * (2 * L + 1) + M_idx), values)  # lint: allow-hot-loop-scatter
 
     levels = []
     # Depth-1 "products" are raw feature columns.
@@ -445,7 +447,9 @@ def _dense_path_tensor(path) -> np.ndarray:
 def _scatter_species(per_atom: np.ndarray, species: np.ndarray, n_species: int) -> np.ndarray:
     """Sum per-atom values into per-species slots: (N, K) -> (S, K)."""
     out = np.zeros((n_species,) + per_atom.shape[1:], dtype=np.float64)
-    np.add.at(out, species, per_atom)
+    # Baseline (reference) path only; the optimized kernel's gradients go
+    # through the _SegmentPlan sort+reduceat plans instead.
+    np.add.at(out, species, per_atom)  # lint: allow-hot-loop-scatter
     return out
 
 

@@ -232,7 +232,9 @@ class MACE(Module):
         """
         cache = self._plan_cache_for(compiled)
         if cache is not None:
-            key = ("forces", id(self), batch_signature(batch, include_positions=False))
+            # The plan pins this model as its owner, so id(self) cannot be
+            # recycled into a key collision while the entry is alive.
+            key = ("forces", id(self), batch_signature(batch, include_positions=False))  # lint: allow-id-keyed-dict
             plan = cache.get(key)
             if plan is not None:
                 try:
@@ -279,7 +281,8 @@ class MACE(Module):
         if cache is None:
             with no_grad():
                 return self.forward(batch).numpy()
-        key = ("energy", id(self), batch_signature(batch, include_positions=True))
+        # id(self) is safe here for the same owner-pinning reason as above.
+        key = ("energy", id(self), batch_signature(batch, include_positions=True))  # lint: allow-id-keyed-dict
         plan = cache.get(key)
         if plan is not None:
             try:

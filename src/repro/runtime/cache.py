@@ -95,22 +95,34 @@ class PlanCache:
     maxsize:
         Maximum number of cached plans (least-recently-used eviction);
         ``None`` means unbounded.
+    verify:
+        ``"auto"`` (default) statically verifies each plan once on
+        insertion (:func:`repro.analysis.verify_plan`) so a miscompiled
+        plan can never be replayed — :meth:`put` raises
+        :class:`~repro.analysis.PlanInvalid` pinpointing the offending
+        instruction.  ``None``/``False`` disables verification.  This is
+        a build-time cost only: replays never re-verify.
 
     Attributes
     ----------
-    hits, misses, captures, stale:
+    hits, misses, captures, stale, verified:
         Counters: replay-served lookups, key misses, plans stored after
-        a fresh capture, and guard-rejected replays (``PlanStale``).
+        a fresh capture, guard-rejected replays (``PlanStale``), and
+        insertion-time verifications run.
     """
 
-    def __init__(self, maxsize: Optional[int] = 64) -> None:
+    def __init__(self, maxsize: Optional[int] = 64, verify: object = "auto") -> None:
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive (or None)")
+        if verify not in ("auto", True, False, None):
+            raise ValueError(f"verify must be 'auto', a bool or None, got {verify!r}")
         self.maxsize = maxsize
+        self.verify = verify in ("auto", True)
         self.hits = 0
         self.misses = 0
         self.captures = 0
         self.stale = 0
+        self.verified = 0
         self._store: "OrderedDict[object, CompiledPlan]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -127,7 +139,20 @@ class PlanCache:
         return plan
 
     def put(self, key, plan: CompiledPlan) -> CompiledPlan:
-        """Store a freshly captured plan (evicting LRU past ``maxsize``)."""
+        """Store a freshly captured plan (evicting LRU past ``maxsize``).
+
+        With ``verify="auto"`` the plan is statically verified first;
+        :class:`~repro.analysis.PlanInvalid` propagates to the caller
+        and nothing is stored — a miscompile can never be replayed.
+        """
+        if self.verify:
+            # Imported lazily: repro.analysis pulls in the kernel and
+            # model modules for its per-op rules, which themselves
+            # import repro.runtime.
+            from ..analysis.verifier import verify_plan
+
+            verify_plan(plan)
+            self.verified += 1
         self.captures += 1
         self._store[key] = plan
         self._store.move_to_end(key)
@@ -152,6 +177,7 @@ class PlanCache:
             "misses": self.misses,
             "captures": self.captures,
             "stale": self.stale,
+            "verified": self.verified,
             "size": len(self._store),
             "hit_rate": self.hits / total if total else 0.0,
         }

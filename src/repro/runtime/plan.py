@@ -4,7 +4,7 @@ The eager engine in :mod:`repro.autograd.engine` pays per-op Python
 costs on every call: a :class:`~repro.autograd.engine.Function` object,
 ``isinstance`` scans over the argument tuple, a fresh
 :class:`~repro.autograd.engine.Tensor` wrapper, and — on ``backward()``
-— a full topological sort plus ``id()``-keyed gradient dictionaries.
+— a full topological sort plus serial-keyed gradient dictionaries.
 Training steps, MD trajectories and serving micro-batches replay the
 *same* graph over fixed shape buckets thousands of times, so this module
 separates graph *capture* from graph *execution*:
@@ -57,7 +57,7 @@ import numpy as np
 from ..autograd import engine as _engine
 from ..autograd.engine import Tensor
 
-__all__ = ["PlanStale", "TapeRecorder", "record_tape", "CompiledPlan"]
+__all__ = ["PlanStale", "PlanMeta", "TapeRecorder", "record_tape", "CompiledPlan"]
 
 
 class PlanStale(RuntimeError):
@@ -73,9 +73,9 @@ class TapeRecorder:
     """Collects ``(fn, args, kwargs, out)`` for every Function applied.
 
     Strong references to the recorded tensors are held by the records
-    themselves (``fn.inputs`` and ``out``), so ``id()``-based slot
-    assignment in :class:`CompiledPlan` is collision-free for the tape's
-    lifetime.
+    themselves (``fn.inputs`` and ``out``); slot assignment in
+    :class:`CompiledPlan` keys on tensor *serial numbers*, which are
+    never recycled, so it is collision-free unconditionally.
     """
 
     __slots__ = ("records",)
@@ -110,20 +110,45 @@ def record_tape():
         _engine._set_recorder(None)
 
 
+class PlanMeta:
+    """Build-time facts about a plan, retained for :mod:`repro.analysis`.
+
+    Recorded while the capture tape is still in scope, so the static
+    verifier and liveness passes can check the lowered program without
+    re-running capture: per-slot shapes/dtypes of every value (including
+    folded constants and DCE'd intermediates), slot kinds, which slots
+    the constant folder reclassified, and an audit trail of every
+    instruction dropped by dead-node elimination or folding.
+    """
+
+    __slots__ = ("slot_shapes", "slot_dtypes", "kinds", "const", "dropped", "folded")
+
+    def __init__(self, slot_shapes, slot_dtypes, kinds, const, dropped, folded):
+        self.slot_shapes = slot_shapes  # tuple[shape] per slot
+        self.slot_dtypes = slot_dtypes  # tuple[np.dtype] per slot
+        self.kinds = kinds  # tuple['const'|'input'|'param'|'node']
+        self.const = const  # tuple[bool]: const after folding
+        self.dropped = dropped  # ((op_name, out_slot, tensor_slots), ...)
+        self.folded = folded  # ((op_name, out_slot, tensor_slots), ...)
+
+
 class _ForwardInstr:
     """One replayable forward call with compile-time-resolved inputs."""
 
-    __slots__ = ("fn", "call", "args", "bindings", "out_slot", "tensor_slots")
+    __slots__ = ("fn", "call", "args", "bindings", "kwargs", "out_slot", "tensor_slots")
 
     def __init__(self, fn, args, bindings, kwargs, out_slot, tensor_slots):
         self.fn = fn
         # kwargs are constants of the plan; bind them once so the replay
-        # loop is a plain positional call.
+        # loop is a plain positional call.  The raw dict is kept for the
+        # static verifier (repro.analysis), which re-derives output
+        # shapes from the argument template without running anything.
         self.call = (
             functools.partial(fn.forward, **kwargs) if kwargs else fn.forward
         )
         self.args = args  # positional template; Tensor positions rebound
         self.bindings = bindings  # [(position, slot), ...]
+        self.kwargs = kwargs
         self.out_slot = out_slot
         self.tensor_slots = tensor_slots  # slots in Tensor-argument order
 
@@ -187,19 +212,22 @@ class CompiledPlan:
         self.owner = owner
         records = tape.records
         inputs = tuple(inputs)
-        input_ids = {id(t): i for i, t in enumerate(inputs)}
+        # Slot assignment keys on tensor serial numbers: unlike id(),
+        # serials are never recycled, so two distinct capture tensors can
+        # never collide even if one is garbage-collected mid-build.
+        input_serials = {t._serial: i for i, t in enumerate(inputs)}
 
         slot_of: Dict[int, int] = {}
         kinds: List[str] = []  # 'const' | 'input' | 'param' | 'node'
         tensors: List[Tensor] = []
 
         def leaf_slot(t: Tensor) -> int:
-            slot = slot_of.get(id(t))
+            slot = slot_of.get(t._serial)
             if slot is None:
                 slot = len(tensors)
-                slot_of[id(t)] = slot
+                slot_of[t._serial] = slot
                 tensors.append(t)
-                if id(t) in input_ids:
+                if t._serial in input_serials:
                     kinds.append("input")
                 elif t.requires_grad:
                     kinds.append("param")
@@ -224,7 +252,7 @@ class CompiledPlan:
                 else:
                     template.append(a)
             out_slot = len(tensors)
-            slot_of[id(out)] = out_slot
+            slot_of[out._serial] = out_slot
             tensors.append(out)
             kinds.append("node")
             instrs.append(
@@ -235,8 +263,8 @@ class CompiledPlan:
             leaf_slot(t)  # an output may be a leaf (degenerate plans)
         if seed is not None:
             leaf_slot(seed)
-        output_slots = [slot_of[id(t)] for t in outputs]
-        seed_slot = None if seed is None else slot_of[id(seed)]
+        output_slots = [slot_of[t._serial] for t in outputs]
+        seed_slot = None if seed is None else slot_of[seed._serial]
 
         # -- dead-node elimination: keep only ancestors of outputs/seed.
         needed = set(output_slots)
@@ -249,17 +277,26 @@ class CompiledPlan:
                 needed.update(instrs[i].tensor_slots)
         self.n_recorded = len(instrs)
         self.n_dead = live.count(False)
+        dropped = tuple(
+            (type(instr.fn).__name__, instr.out_slot, tuple(instr.tensor_slots))
+            for i, instr in enumerate(instrs)
+            if not live[i]
+        )
 
         # -- constant folding: a node fed only by constants is itself a
         # constant; its value was already computed during capture, so
         # folding just reclassifies the slot and drops the instruction.
         const = [k == "const" for k in kinds]
         forward: List[_ForwardInstr] = []
+        folded: List[tuple] = []
         for i, instr in enumerate(instrs):
             if not live[i]:
                 continue
             if all(const[s] for s in instr.tensor_slots):
                 const[instr.out_slot] = True
+                folded.append(
+                    (type(instr.fn).__name__, instr.out_slot, tuple(instr.tensor_slots))
+                )
                 continue
             forward.append(instr)
         self.n_folded = live.count(True) - len(forward)
@@ -282,7 +319,7 @@ class CompiledPlan:
 
         # -- replay bindings for inputs and parameters (guard specs).
         self._input_specs = [
-            (slot_of[id(t)], t.data.shape, t.data.dtype) for t in inputs
+            (slot_of[t._serial], t.data.shape, t.data.dtype) for t in inputs
         ]
         param_slots = sorted(
             {s for instr in forward for s in instr.tensor_slots if kinds[s] == "param"}
@@ -291,6 +328,17 @@ class CompiledPlan:
             (s, tensors[s], tensors[s].data.shape, tensors[s].data.dtype)
             for s in param_slots
         ]
+
+        # -- build metadata for the static analyses, captured while the
+        # per-slot capture tensors are still reachable.
+        self.meta = PlanMeta(
+            slot_shapes=tuple(t.data.shape for t in tensors),
+            slot_dtypes=tuple(t.data.dtype for t in tensors),
+            kinds=tuple(kinds),
+            const=tuple(const),
+            dropped=dropped,
+            folded=tuple(folded),
+        )
 
         # -- compiled backward: reversed instruction order is a valid
         # reverse-topological order of the recorded DAG.
@@ -307,7 +355,7 @@ class CompiledPlan:
                     wants[s] = True
             for t in inputs:
                 if t.requires_grad:
-                    wants[slot_of[id(t)]] = True
+                    wants[slot_of[t._serial]] = True
             needs = list(wants)
             for instr in forward:
                 if any(needs[s] for s in instr.tensor_slots):
@@ -356,7 +404,7 @@ class CompiledPlan:
                 (s, tensors[s]) for s in param_slots if grad_params and s in reachable
             ]
             self._input_grad_slots = [
-                slot_of[id(t)] if t.requires_grad else None for t in inputs
+                slot_of[t._serial] if t.requires_grad else None for t in inputs
             ]
 
         # Release the capture tape: replay never reads fn.inputs, and the

@@ -1,4 +1,6 @@
-"""Shared fixtures: seeded RNGs and small labeled graph sets."""
+"""Shared fixtures: seeded RNGs, small labeled graph sets, and an
+autouse hook that statically verifies every compiled plan the suite
+builds (see repro.analysis.verifier)."""
 
 import numpy as np
 import pytest
@@ -9,6 +11,26 @@ from repro.data import attach_labels, build_training_set
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _verify_every_plan(monkeypatch):
+    """Run the static verifier on every CompiledPlan built during a test.
+
+    Plans are verified at construction time, so tests that deliberately
+    corrupt a plan afterwards (tests/test_analysis.py) still exercise
+    the verifier on the intact build.
+    """
+    from repro.analysis.verifier import verify_plan
+    from repro.runtime.plan import CompiledPlan
+
+    original = CompiledPlan.__init__
+
+    def verified_init(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        verify_plan(self)
+
+    monkeypatch.setattr(CompiledPlan, "__init__", verified_init)
 
 
 @pytest.fixture(scope="session")

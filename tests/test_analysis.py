@@ -1,0 +1,321 @@
+"""Tests for repro.analysis: the plan verifier (clean plans pass, each
+corruption class is rejected with a pinpointing message), the liveness /
+donation pass, tensor serial numbers, and the invariant linter rules."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ArraySpec,
+    PlanInvalid,
+    analyze_liveness,
+    infer_output_spec,
+    verify_plan,
+)
+from repro.analysis.lint import lint_paths
+from repro.autograd import Tensor
+from repro.autograd.engine import Mul
+from repro.runtime import CompiledPlan, PlanCache, record_tape
+
+
+def _training_like_plan(rng):
+    """Input * const -> sum, with a compiled backward onto the input."""
+    x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+    c = Tensor(rng.standard_normal((4, 3)))
+    with record_tape() as tape:
+        y = x * c
+        loss = y.sum()
+    loss.backward()
+    return CompiledPlan(
+        tape, outputs=(loss,), seed=loss, inputs=(x,), grad_params=False
+    )
+
+
+def _forward_chain_plan(rng):
+    """Forward-only chain whose intermediates die immediately."""
+    x = Tensor(rng.standard_normal((8, 5)), requires_grad=True)
+    c1 = Tensor(rng.standard_normal((8, 5)))
+    c2 = Tensor(rng.standard_normal((8, 5)))
+    with record_tape() as tape:
+        out = ((x * c1) * c2).sum()
+    return CompiledPlan(tape, outputs=(out,), inputs=(x,))
+
+
+class TestVerifierCleanPlans:
+    def test_clean_plan_passes(self, rng):
+        stats = verify_plan(_training_like_plan(rng))
+        assert stats["forward_ops"] == 2  # Mul, Sum
+        assert stats["backward_ops"] == 2
+        assert stats["specs_checked"] == stats["forward_ops"]
+
+    def test_forward_only_plan_passes(self, rng):
+        stats = verify_plan(_forward_chain_plan(rng))
+        assert stats["backward_ops"] == 0
+        assert stats["forward_ops"] == 3
+
+    def test_replay_matches_eager_after_verify(self, rng):
+        plan = _training_like_plan(rng)
+        verify_plan(plan)
+        x_new = rng.standard_normal((4, 3))
+        (loss,), (grad,) = plan.replay(x_new)
+        assert grad is not None and grad.shape == (4, 3)
+
+
+class TestVerifierCorruptions:
+    """Each corruption class raises PlanInvalid naming the instruction."""
+
+    def test_dangling_slot(self, rng):
+        plan = _training_like_plan(rng)
+        mul = plan._forward[0]
+        later = plan._forward[1].out_slot  # defined only after Mul runs
+        position, _ = mul.bindings[1]
+        mul.bindings[1] = (position, later)
+        mul.tensor_slots[1] = later
+        with pytest.raises(PlanInvalid) as exc:
+            verify_plan(plan)
+        assert exc.value.location == "forward[0] Mul"
+        assert "dangling slot" in str(exc.value)
+
+    def test_wrong_dtype(self, rng):
+        plan = _training_like_plan(rng)
+        out = plan._forward[0].out_slot
+        dtypes = list(plan.meta.slot_dtypes)
+        dtypes[out] = np.dtype(np.float32)
+        plan.meta.slot_dtypes = tuple(dtypes)
+        with pytest.raises(PlanInvalid) as exc:
+            verify_plan(plan)
+        assert exc.value.location == "forward[0] Mul"
+        assert "inferred output dtype" in str(exc.value)
+
+    def test_dropped_guard(self, rng):
+        plan = _training_like_plan(rng)
+        plan._input_specs = []  # the input can now change without a miss
+        with pytest.raises(PlanInvalid) as exc:
+            verify_plan(plan)
+        assert exc.value.location == "forward[0] Mul"
+        assert "no replay guard" in str(exc.value)
+
+    def test_bad_grad_shape(self, rng):
+        plan = _training_like_plan(rng)
+        binstr = plan._backward[-1]  # Mul's backward, targets the input
+        grad_index, slot, _ = binstr.targets[0]
+        binstr.targets[0] = (grad_index, slot, np.zeros((1, 1)))
+        with pytest.raises(PlanInvalid) as exc:
+            verify_plan(plan)
+        assert exc.value.location.startswith("backward[")
+        assert "Mul" in exc.value.location
+        assert "bad grad shape" in str(exc.value)
+
+    def test_cache_rejects_corrupt_plan_on_put(self, rng):
+        plan = _training_like_plan(rng)
+        plan._input_specs = []
+        cache = PlanCache()
+        with pytest.raises(PlanInvalid):
+            cache.put("key", plan)
+        assert cache.get("key") is None
+
+    def test_cache_verify_off_accepts(self, rng):
+        plan = _training_like_plan(rng)
+        plan._input_specs = []
+        cache = PlanCache(verify=False)
+        cache.put("key", plan)
+        assert cache.get("key") is plan
+        assert cache.stats()["verified"] == 0
+
+
+class TestSpecInference:
+    def test_registry_covers_mul(self):
+        a = ArraySpec((4, 3), np.dtype(np.float64))
+        b = ArraySpec((1, 3), np.dtype(np.float64))
+        out = infer_output_spec(Mul(), [a, b], {})
+        assert out.shape == (4, 3)
+        assert out.dtype == np.float64
+
+    def test_spec_equality(self):
+        a = ArraySpec((2,), np.dtype(np.float64))
+        assert a == ArraySpec((2,), np.dtype(np.float64))
+        assert a != ArraySpec((3,), np.dtype(np.float64))
+
+
+class TestLiveness:
+    def test_donation_pair_on_chain(self, rng):
+        report = analyze_liveness(_forward_chain_plan(rng))
+        assert report.donations, "dead intermediate should be donatable"
+        d = report.donations[0]
+        assert d.shape == (8, 5)
+        assert "donation" in report.format() or "legal donation" in report.format()
+
+    def test_saved_inputs_block_donation(self, rng):
+        # Mul's backward re-reads its operands, so with a compiled
+        # backward the intermediate stays live across the forward pass.
+        report = analyze_liveness(_training_like_plan(rng))
+        assert report.n_backward == 2
+        assert not report.alias_violations
+
+    def test_peak_bounded_by_total(self, rng):
+        plan = _forward_chain_plan(rng)
+        report = analyze_liveness(plan)
+        total_node_bytes = sum(
+            iv.nbytes for iv in report.intervals if iv.kind == "node"
+        )
+        assert 0 < report.peak_bytes <= total_node_bytes
+
+
+class TestSerials:
+    def test_monotonic_and_unique(self, rng):
+        a = Tensor(rng.standard_normal(3))
+        b = Tensor(rng.standard_normal(3))
+        assert b.serial > a.serial
+        c = a + b
+        assert c.serial > b.serial
+
+    def test_serial_survives_data_swap(self, rng):
+        a = Tensor(rng.standard_normal(3))
+        serial = a.serial
+        a.data = rng.standard_normal(3)
+        assert a.serial == serial
+
+
+# -- linter rules ---------------------------------------------------------------
+
+
+def _lint(tmp_path, relpath, source):
+    f = tmp_path / relpath
+    f.parent.mkdir(parents=True, exist_ok=True)
+    f.write_text(source)
+    return lint_paths([str(f)])
+
+
+class TestLintRules:
+    def test_hot_loop_scatter_flags_add_at(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "kernels/bad.py",
+            "import numpy as np\n"
+            "def pool(out, idx, vals):\n"
+            "    np.add.at(out, idx, vals)\n",
+        )
+        assert [f.rule for f in findings] == ["hot-loop-scatter"]
+        assert findings[0].lineno == 3
+
+    def test_hot_loop_scatter_respects_pragma(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "kernels/ok.py",
+            "import numpy as np\n"
+            "def pool(out, idx, vals):\n"
+            "    np.add.at(out, idx, vals)  # lint: allow-hot-loop-scatter\n",
+        )
+        assert findings == []
+
+    def test_hot_loop_scatter_ignores_cold_paths(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "training/fine.py",
+            "import numpy as np\n"
+            "def pool(out, idx, vals):\n"
+            "    np.add.at(out, idx, vals)\n",
+        )
+        assert findings == []
+
+    def test_hot_loop_scatter_flags_data_sized_loop(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "equivariant/bad.py",
+            "class K:\n"
+            "    def forward(self, x):\n"
+            "        for i in range(x.shape[0]):\n"
+            "            pass\n",
+        )
+        assert [f.rule for f in findings] == ["hot-loop-scatter"]
+
+    def test_forward_mutates_input(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "mod.py",
+            "class F:\n"
+            "    def forward(self, a):\n"
+            "        a[0] = 1.0\n"
+            "        return a\n",
+        )
+        assert [f.rule for f in findings] == ["forward-mutates-input"]
+        assert "writes into input array 'a'" in findings[0].message
+
+    def test_forward_rebinding_is_not_mutation(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "mod.py",
+            "class F:\n"
+            "    def forward(self, a):\n"
+            "        a = a + 1.0\n"
+            "        a[0] = 2.0\n"
+            "        return a\n",
+        )
+        assert findings == []
+
+    def test_forward_out_kwarg_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "mod.py",
+            "import numpy as np\n"
+            "class F:\n"
+            "    def forward(self, a, b):\n"
+            "        return np.multiply(a, b, out=a)\n",
+        )
+        assert [f.rule for f in findings] == ["forward-mutates-input"]
+
+    def test_gradcheck_coverage(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "ops.py",
+            "class Function:\n"
+            "    pass\n"
+            "class MyOp(Function):\n"
+            "    def forward(self, a):\n"
+            "        return a\n"
+            "def my_op(x):\n"
+            "    return MyOp.apply(x)\n",
+        )
+        assert [f.rule for f in findings] == ["gradcheck-coverage"]
+        assert "MyOp" in findings[0].message
+
+    def test_atomic_write_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "io.py",
+            "import json\n"
+            "def save(path, obj):\n"
+            "    with open(path, 'w') as f:\n"
+            "        json.dump(obj, f)\n",
+        )
+        assert {f.rule for f in findings} == {"atomic-write"}
+
+    def test_atomic_write_satisfied_by_replace(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "io.py",
+            "import json, os\n"
+            "def save(path, obj):\n"
+            "    with open(str(path) + '.tmp', 'w') as f:\n"
+            "        json.dump(obj, f)\n"
+            "    os.replace(str(path) + '.tmp', path)\n",
+        )
+        assert findings == []
+
+    def test_id_keyed_dict(self, tmp_path):
+        findings = _lint(tmp_path, "mod.py", "def key(x, d):\n    d[id(x)] = 1\n")
+        assert [f.rule for f in findings] == ["id-keyed-dict"]
+
+    def test_id_keyed_dict_pragma(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "mod.py",
+            "def key(x, d):\n    d[id(x)] = 1  # lint: allow-id-keyed-dict\n",
+        )
+        assert findings == []
+
+    def test_repo_lints_clean(self):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        assert lint_paths([str(src)]) == []
