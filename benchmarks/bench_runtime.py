@@ -18,6 +18,13 @@ for:
 4. **Verification cost** — the static plan verifier (``repro.analysis``)
    runs once per cache insertion; it must stay under 10% of the cost of
    building the plan it checks, and must never run on the replay path.
+5. **Optimization** (ISSUE 7) — the fused/arena-planned plan must be
+   >= 1.3x over the 1:1 (``optimize=False``) replay of the same
+   train-step tape, allocation-free in its steady-state forward
+   (address-stability counter), and 1e-10-equivalent in loss and
+   parameter gradients.  The win is the working set: the 1:1 replay
+   mallocs/frees every intermediate each step, while the arena replays
+   into the same pinned, donation-recycled buffers.
 
 Timing compares two identical trainers on identical batch sequences:
 ``plan_cache=None`` (eager tape every step) vs the default plan cache
@@ -51,6 +58,7 @@ from repro.training import Trainer  # noqa: E402
 
 CFG = MACEConfig(num_channels=4, lmax_sh=2, l_atomic_basis=2, correlation=2)
 SPEEDUP_GATE = 1.5
+OPT_GATE = 1.3
 TOL = 1e-10
 
 
@@ -151,8 +159,11 @@ def _verification(graphs) -> None:
         )
 
     plan = capture()
-    t_build = min(timeit.repeat(capture, number=1, repeat=5))
-    t_verify = min(timeit.repeat(lambda: verify_plan(plan), number=1, repeat=5))
+    # min-of-N floors out scheduler noise on both sides; verify costs
+    # ~1 ms a repeat, so the extra repeats are cheap insurance against
+    # a load burst landing inside one side's window.
+    t_build = min(timeit.repeat(capture, number=1, repeat=7))
+    t_verify = min(timeit.repeat(lambda: verify_plan(plan), number=1, repeat=20))
     ratio = t_verify / t_build
     checks = verify_plan(plan)
     print(
@@ -238,6 +249,129 @@ def _speed(graphs, repeats: int, loops: int, attempts: int) -> None:
     )
 
 
+def _forward_alloc_probe(plan) -> int:
+    """Count forward instructions that allocate a fresh array per replay.
+
+    Runs the plan's forward program twice and compares the data address
+    of every instruction's result: arena-backed, donated and view
+    results land in the same storage on both passes, so any address
+    that changes is a per-replay allocation.  (Plan outputs are
+    intentionally excluded from the arena — they must survive the next
+    replay — so they are the only legitimate movers.)
+    """
+    rows = []
+    for _ in range(2):
+        values = plan._values.copy()
+        for slot, param, _, _ in plan._param_specs:
+            values[slot] = param.data
+        row = []
+        for instr in plan._forward:
+            args = instr.args
+            for position, slot in instr.bindings:
+                args[position] = values[slot]
+            donor = instr.donor_slot
+            if donor is not None:
+                result = instr.call(*args, out=values[donor])
+            elif instr.out_buffer is not None:
+                result = instr.call(*args, out=instr.out_buffer)
+            else:
+                result = instr.call(*args)
+            values[instr.out_slot] = result
+            row.append(result.__array_interface__["data"][0])
+        rows.append(row)
+        plan._release_activations()
+    return sum(a != b for a, b in zip(*rows))
+
+
+def _optimization(graphs, repeats: int, loops: int, attempts: int) -> None:
+    from repro.runtime import CompiledPlan, record_tape
+
+    def build(optimize):
+        trainer = Trainer(MACE(CFG, seed=0), graphs, plan_cache=None)
+        batch = trainer._collate(list(range(len(graphs))), 0)
+        with record_tape() as tape:
+            loss = trainer._batch_loss(batch)
+        loss.backward()
+        plan = CompiledPlan(
+            tape,
+            outputs=(loss,),
+            seed=loss,
+            grad_params=True,
+            optimize=optimize,
+            owner=trainer.model,
+        )
+        return plan, trainer
+
+    opt, tr_opt = build(True)
+    oneone, tr_base = build(False)
+    assert opt.n_fused_away > 0, "no elementwise chains fused on a train-step plan"
+    assert opt.n_donated > 0, "no buffers donated on a train-step plan"
+    assert opt.n_alloc_instrs == 0, (
+        f"optimized train-step forward still allocates: "
+        f"{opt.n_alloc_instrs} instructions outside the arena"
+    )
+
+    # Steady state, then equivalence: same params, same constants — the
+    # fused/donating plan must reproduce the 1:1 plan exactly.
+    for _ in range(3):
+        opt.replay()
+        oneone.replay()
+    (l_opt,), _ = opt.replay()
+    (l_one,), _ = oneone.replay()
+    d_loss = abs(float(l_opt) - float(l_one))
+    d_grad = max(
+        np.abs(pa.grad - pb.grad).max()
+        for pa, pb in zip(tr_opt.model.parameters(), tr_base.model.parameters())
+        if pa.grad is not None
+    )
+    assert d_loss < TOL and d_grad < TOL, (
+        f"optimized plan drifted from 1:1 replay: |dloss| {d_loss:.3e}, "
+        f"|dgrad| {d_grad:.3e}"
+    )
+
+    # Allocation counter: per-replay fresh allocations in the forward
+    # program, measured by address stability across two replays.
+    fresh_opt = _forward_alloc_probe(opt)
+    fresh_one = _forward_alloc_probe(oneone)
+    allowed = len(opt._output_slots)
+    assert fresh_opt <= allowed, (
+        f"steady-state optimized replay must be allocation-free outside "
+        f"its {allowed} outputs, measured {fresh_opt} fresh arrays"
+    )
+
+    def interleaved_min(fn_a, fn_b):
+        best_a = best_b = float("inf")
+        for _ in range(repeats):
+            best_a = min(best_a, timeit.timeit(fn_a, number=loops))
+            best_b = min(best_b, timeit.timeit(fn_b, number=loops))
+        return best_a / loops, best_b / loops
+
+    # Same bounded re-measurement discipline as _speed: shared boxes
+    # throttle in bursts; a genuine regression fails every attempt.
+    ratio = 0.0
+    for attempt in range(attempts):
+        t_one, t_opt = interleaved_min(
+            lambda: oneone.replay(), lambda: opt.replay()
+        )
+        ratio = t_one / t_opt
+        if ratio >= OPT_GATE:
+            break
+        print(
+            f"[runtime] attempt {attempt + 1}: {ratio:.2f}x below opt gate "
+            f"(1:1 {t_one * 1e3:.2f} ms, optimized {t_opt * 1e3:.2f} ms); remeasuring"
+        )
+    print(
+        f"[runtime] optimization: {opt.n_fused_away} ops fused away, "
+        f"{opt.n_donated} donations, {opt.n_alloc_instrs} allocating instrs "
+        f"({fresh_opt} fresh arrays/replay vs {fresh_one} on 1:1); "
+        f"1:1 {t_one * 1e3:.2f} ms vs optimized {t_opt * 1e3:.2f} ms -> {ratio:.2f}x"
+    )
+    assert ratio >= OPT_GATE, (
+        f"optimized replay must be >= {OPT_GATE}x over 1:1 replay on a "
+        f"fixed-shape train step, measured {ratio:.2f}x"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -252,8 +386,10 @@ def main(argv=None) -> int:
     _verification(graphs)
     if args.smoke:
         _speed(graphs, repeats=5, loops=3, attempts=3)
+        _optimization(graphs, repeats=6, loops=3, attempts=4)
     else:
         _speed(graphs, repeats=10, loops=10, attempts=2)
+        _optimization(graphs, repeats=12, loops=8, attempts=3)
     print("bench_runtime: OK")
     return 0
 

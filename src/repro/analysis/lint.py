@@ -159,6 +159,11 @@ class ForwardMutatesInputRule(Rule):
         params.update(a.arg for a in func.args.kwonlyargs)
         if func.args.vararg is not None:
             params.add(func.args.vararg.arg)
+        # The ``out=`` parameter of the supports_out protocol is the one
+        # array forward() is *meant* to write into — the arena planner
+        # owns it and guarantees it never aliases a live caller array
+        # (SupportsOutRetainRule polices the other half of the contract).
+        params.discard("out")
 
         def root_name(node: ast.AST):
             while isinstance(node, (ast.Subscript, ast.Attribute)):
@@ -309,12 +314,76 @@ class IdKeyedDictRule(Rule):
                 )
 
 
+class SupportsOutRetainRule(Rule):
+    name = "supports-out-retains-buffer"
+    explanation = (
+        "a Function declaring supports_out hands its output buffer back to "
+        "the arena planner, which may alias or reassign it once the value "
+        "dies; forward() may keep a reference to out only in the return "
+        "value and self.saved (which every replay clears)"
+    )
+
+    @staticmethod
+    def _declares_supports_out(cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            targets = ()
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = (stmt.target,), stmt.value
+            if (
+                any(
+                    isinstance(t, ast.Name) and t.id == "supports_out"
+                    for t in targets
+                )
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                return True
+        return False
+
+    def visit(self, tree, ctx):
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef) or not self._declares_supports_out(cls):
+                continue
+            for func in cls.body:
+                if isinstance(func, ast.FunctionDef) and func.name == "forward":
+                    yield from self._check_forward(func)
+
+    def _check_forward(self, func: ast.FunctionDef):
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                root = target
+                while isinstance(root, (ast.Subscript, ast.Attribute)):
+                    if (
+                        isinstance(root, ast.Attribute)
+                        and isinstance(root.value, ast.Name)
+                        and root.value.id == "self"
+                        and root.attr != "saved"
+                    ):
+                        if any(
+                            isinstance(sub, ast.Name) and sub.id == "out"
+                            for sub in ast.walk(node.value)
+                        ):
+                            yield node.lineno, (
+                                f"forward() of a supports_out Function stores the "
+                                f"out= buffer on self.{root.attr} — retained "
+                                "references outlive the value and alias the arena"
+                            )
+                    root = root.value
+
+
 RULES: List[Rule] = [
     HotLoopScatterRule(),
     ForwardMutatesInputRule(),
     GradcheckCoverageRule(),
     AtomicWriteRule(),
     IdKeyedDictRule(),
+    SupportsOutRetainRule(),
 ]
 
 

@@ -39,6 +39,7 @@ constant (a write to a still-live alias would corrupt later replays).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import prod
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -85,6 +86,9 @@ SAVED_ARRAYS: Dict[str, str] = {
     "Tanh": "out",
     "Sigmoid": "out",
     "_EdgeNorm": "inputs+out",
+    # Fallback only: live instances carry a per-chain ``saved_arrays``
+    # attribute (instance classification wins, see analyze_liveness).
+    "_FusedElementwise": "inputs",
 }
 
 # Ops whose output is (or may be) a view of their first operand.
@@ -104,7 +108,7 @@ class SlotInterval:
 
     @property
     def nbytes(self) -> int:
-        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        return prod(self.shape) * self.dtype.itemsize
 
 
 @dataclass
@@ -171,12 +175,58 @@ def _fmt_time(t: int, n_forward: int) -> str:
     return f"backward[{t - n_forward}]"
 
 
-def analyze_liveness(plan) -> LivenessReport:
-    """Compute liveness intervals, alias classes and donation pairs."""
+def storage_bounds(a: np.ndarray) -> tuple:
+    """Half-open byte range [start, end) an array's storage can touch.
+
+    Matches the bounds ``np.may_share_memory`` uses, so an interval
+    overlap between two arrays is exactly what that predicate reports.
+    """
+    # One __array_interface__ access yields both the base pointer and
+    # the contiguity signal (strides is None for C order) — cheaper than
+    # a separate a.flags probe on the verifier's per-insert hot path.
+    interface = a.__array_interface__
+    start = interface["data"][0]
+    if interface["strides"] is None:
+        return start, start + a.nbytes
+    span = a.itemsize + sum(
+        (s - 1) * abs(st) for s, st in zip(a.shape, a.strides) if s > 0
+    )
+    return start, start + span
+
+
+def constant_bounds(plan) -> tuple:
+    """Storage bounds for every constant slot in ``plan._values``.
+
+    Returns ``(slots, starts, ends)`` with the latter two as arrays, so
+    callers can test many candidate buffers with one vectorized overlap
+    check each instead of a per-constant ``np.may_share_memory`` sweep.
+    """
+    slots: List[int] = []
+    starts: List[int] = []
+    ends: List[int] = []
+    for slot, value in enumerate(plan._values):
+        if value is not None:
+            lo, hi = storage_bounds(value)
+            slots.append(slot)
+            starts.append(lo)
+            ends.append(hi)
+    return slots, np.asarray(starts, dtype=np.int64), np.asarray(ends, dtype=np.int64)
+
+
+def _liveness_core(plan):
+    """Minimal shared liveness computation, no report objects.
+
+    Returns ``(first_def, last_use, members, donations)`` — def/use
+    times per slot, union-find alias classes keyed by root, and legal
+    donation triples ``(index, donor, out_slot)``.  This is the part
+    the verifier's arena audit re-derives on every verified insert, so
+    it stays allocation-light; :func:`analyze_liveness` layers the
+    human-facing report (intervals, byte accounting) on top.
+    """
     meta = plan.meta
     forward = plan._forward
     backward = plan._backward or []
-    n_forward, n_backward = len(forward), len(backward)
+    n_forward = len(forward)
     n_slots = plan._n_slots
 
     first_def = [-2] * n_slots  # -2: never defined (unreferenced slot)
@@ -199,38 +249,35 @@ def analyze_liveness(plan) -> LivenessReport:
     def use(slot: int, t: int) -> None:
         last_use[slot] = max(last_use[slot], t)
 
+    saved_default = SAVED_ARRAYS.get
     for i, instr in enumerate(forward):
+        fn = instr.fn
         first_def[instr.out_slot] = i
         for slot in instr.tensor_slots:
-            use(slot, i)
-        t_bwd = backward_time.get(id(instr.fn))  # lint: allow-id-keyed-dict
+            if i > last_use[slot]:
+                last_use[slot] = i
+        t_bwd = backward_time.get(id(fn))  # lint: allow-id-keyed-dict
         if t_bwd is not None:
-            saved = SAVED_ARRAYS.get(type(instr.fn).__name__, "inputs+out")
+            # Instance classification first: plan-private Functions (the
+            # fused-chain wrapper) declare their own ``saved_arrays``.
+            saved = getattr(fn, "saved_arrays", None) or saved_default(
+                type(fn).__name__, "inputs+out"
+            )
             if saved in ("inputs", "inputs+out"):
                 for slot in instr.tensor_slots:
-                    use(slot, t_bwd)
+                    if t_bwd > last_use[slot]:
+                        last_use[slot] = t_bwd
             if saved in ("out", "inputs+out"):
-                use(instr.out_slot, t_bwd)
+                if t_bwd > last_use[instr.out_slot]:
+                    last_use[instr.out_slot] = t_bwd
 
-    end = n_forward + n_backward
+    end = n_forward + len(backward)
     for slot in plan._output_slots:
         use(slot, end)
     if plan._seed_slot is not None:
         use(plan._seed_slot, end)
     for slot, _ in plan._param_grad_slots:
         use(slot, end)
-
-    intervals = [
-        SlotInterval(
-            slot=s,
-            kind=meta.kinds[s],
-            shape=meta.slot_shapes[s],
-            dtype=meta.slot_dtypes[s],
-            first_def=first_def[s],
-            last_use=last_use[s],
-        )
-        for s in range(n_slots)
-    ]
 
     # -- alias classes (union-find over view-producing instructions).
     parent = list(range(n_slots))
@@ -257,10 +304,9 @@ def analyze_liveness(plan) -> LivenessReport:
         if first_def[s] == -2 and last_use[s] == -1:
             continue  # slot never participates in the live program
         members.setdefault(find(s), []).append(s)
-    alias_classes = [c for c in members.values() if len(c) > 1]
 
     # -- donation pairs.
-    donations: List[DonationPair] = []
+    donations: List[tuple] = []
     for i, instr in enumerate(forward):
         name = type(instr.fn).__name__
         out = instr.out_slot
@@ -277,18 +323,46 @@ def analyze_liveness(plan) -> LivenessReport:
                 continue  # caller- or plan-constant-owned storage
             if any(last_use[m] > i for m in cls):
                 continue  # somebody still reads this storage later
-            donations.append(
-                DonationPair(
-                    index=i,
-                    op=name,
-                    donor=donor,
-                    out_slot=out,
-                    shape=out_shape,
-                    dtype=out_dtype,
-                    nbytes=intervals[donor].nbytes,
-                )
-            )
+            donations.append((i, donor, out))
             break  # one donor per instruction is all a planner can use
+
+    return first_def, last_use, members, donations
+
+
+def analyze_liveness(plan) -> LivenessReport:
+    """Compute liveness intervals, alias classes and donation pairs."""
+    meta = plan.meta
+    forward = plan._forward
+    backward = plan._backward or []
+    n_forward, n_backward = len(forward), len(backward)
+    n_slots = plan._n_slots
+
+    first_def, last_use, members, raw_donations = _liveness_core(plan)
+
+    intervals = [
+        SlotInterval(
+            slot=s,
+            kind=meta.kinds[s],
+            shape=meta.slot_shapes[s],
+            dtype=meta.slot_dtypes[s],
+            first_def=first_def[s],
+            last_use=last_use[s],
+        )
+        for s in range(n_slots)
+    ]
+    alias_classes = [c for c in members.values() if len(c) > 1]
+    donations = [
+        DonationPair(
+            index=i,
+            op=type(forward[i].fn).__name__,
+            donor=donor,
+            out_slot=out,
+            shape=meta.slot_shapes[out],
+            dtype=meta.slot_dtypes[out],
+            nbytes=intervals[donor].nbytes,
+        )
+        for i, donor, out in raw_donations
+    ]
 
     # -- peak transient memory over node buffers (alias classes counted once).
     baseline = sum(iv.nbytes for iv in intervals if iv.first_def == -1)
@@ -324,10 +398,17 @@ def analyze_liveness(plan) -> LivenessReport:
                 buffers.append((f"gradient buffer for slot {slot}", buffer))
     if plan._seed_buffer is not None:
         buffers.append(("seed accumulation buffer", plan._seed_buffer))
-    for label, buffer in buffers:
-        for slot, value in enumerate(plan._values):
-            if value is not None and np.shares_memory(buffer, value):
-                violations.append(f"{label} aliases constant slot {slot}")
+    if buffers:
+        # One storage-bounds table for all constants, then a vectorized
+        # overlap test per buffer (exact for whole allocations, and the
+        # same bounds np.may_share_memory uses).
+        const_slots, starts, ends = constant_bounds(plan)
+        for label, buffer in buffers:
+            b0, b1 = storage_bounds(buffer)
+            for k in np.flatnonzero((starts < b1) & (b0 < ends)):
+                violations.append(
+                    f"{label} aliases constant slot {const_slots[k]}"
+                )
 
     return LivenessReport(
         intervals=intervals,

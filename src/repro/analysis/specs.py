@@ -22,6 +22,8 @@ from typing import Callable, Dict, Tuple, Type
 
 import numpy as np
 
+from math import prod
+
 from ..autograd import engine as _engine
 from ..autograd import functional as _functional
 from ..autograd import ops as _ops
@@ -30,7 +32,7 @@ from ..kernels.symmetric_contraction import (
     _SymContractionBaseline,
     _SymContractionOptimized,
 )
-from ..mace.geometry import _EdgeNorm, _SphericalHarmonicsOp
+from ..mace.geometry import _EdgeNorm, _SphericalHarmonicsOp, _WithinCutoff
 from ..mace.radial import _BesselBasis
 from ..nn.layers import _ChannelMix
 
@@ -49,8 +51,12 @@ class ArraySpec:
     __slots__ = ("shape", "dtype")
 
     def __init__(self, shape, dtype) -> None:
-        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
-        self.dtype = np.dtype(dtype)
+        # Plain tuples and np.dtype instances pass through untouched;
+        # anything else (lists, np.int64 dims) is normalized.
+        self.shape: Tuple[int, ...] = (
+            shape if type(shape) is tuple else tuple(int(s) for s in shape)
+        )
+        self.dtype = dtype if type(dtype) is np.dtype else np.dtype(dtype)
 
     @property
     def ndim(self) -> int:
@@ -89,7 +95,11 @@ def infer_output_spec(fn, args, kwargs) -> ArraySpec:
     the rule rejects the arguments.
     """
     cls = fn if isinstance(fn, type) else type(fn)
-    rule = getattr(cls, "infer_spec", None) or _REGISTRY.get(cls)
+    # Instance hook first: plan-private Functions (e.g. the fused-chain
+    # wrapper in repro.runtime.plan) carry a bound ``infer_spec`` that
+    # re-derives the spec per instance; ordinary Functions inherit
+    # ``infer_spec = None`` from the base class and fall through.
+    rule = getattr(fn, "infer_spec", None) or _REGISTRY.get(cls)
     if rule is None:
         raise SpecError(f"no shape/dtype rule registered for {cls.__name__}")
     out = rule(args, kwargs)
@@ -114,11 +124,16 @@ def _float_like(dtype) -> np.dtype:
 
 def _broadcast_binary(args, kwargs) -> ArraySpec:
     a, b = args
+    # Equal shapes/dtypes dominate recorded programs; skip the generic
+    # (and surprisingly costly) NumPy promotion machinery for them.
+    dtype = a.dtype if a.dtype == b.dtype else np.result_type(a.dtype, b.dtype)
+    if a.shape == b.shape:
+        return ArraySpec(a.shape, dtype)
     try:
         shape = np.broadcast_shapes(a.shape, b.shape)
     except ValueError as exc:
         raise SpecError(f"operands do not broadcast: {a.shape} vs {b.shape}") from exc
-    return ArraySpec(shape, np.result_type(a.dtype, b.dtype))
+    return ArraySpec(shape, dtype)
 
 
 def _passthrough(args, kwargs) -> ArraySpec:
@@ -164,7 +179,7 @@ def _where(args, kwargs) -> ArraySpec:
 def _matmul(args, kwargs) -> ArraySpec:
     a, b = args
     _require(a.ndim >= 1 and b.ndim >= 1, "matmul operands must be at least 1-D")
-    dtype = np.result_type(a.dtype, b.dtype)
+    dtype = a.dtype if a.dtype == b.dtype else np.result_type(a.dtype, b.dtype)
     if a.ndim == 1 and b.ndim == 1:
         _require(a.shape[0] == b.shape[0], f"inner-product mismatch {a.shape}/{b.shape}")
         return ArraySpec((), dtype)
@@ -175,6 +190,8 @@ def _matmul(args, kwargs) -> ArraySpec:
         _require(a.shape[0] == b.shape[-2], f"matmul mismatch {a.shape} @ {b.shape}")
         return ArraySpec(b.shape[:-2] + b.shape[-1:], dtype)
     _require(a.shape[-1] == b.shape[-2], f"matmul mismatch {a.shape} @ {b.shape}")
+    if a.shape[:-2] == b.shape[:-2]:
+        return ArraySpec(a.shape[:-1] + b.shape[-1:], dtype)
     try:
         batch = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
     except ValueError as exc:
@@ -205,15 +222,15 @@ def _getitem(args, kwargs) -> ArraySpec:
 def _reshape(args, kwargs) -> ArraySpec:
     (a,) = args
     shape = tuple(int(s) for s in kwargs["shape"])
-    size = int(np.prod(a.shape, dtype=np.int64))
+    size = prod(a.shape)
     negatives = [i for i, s in enumerate(shape) if s < 0]
     if negatives:
         _require(len(negatives) == 1, f"multiple -1 dims in reshape {shape}")
-        known = int(np.prod([s for s in shape if s >= 0], dtype=np.int64))
+        known = prod(s for s in shape if s >= 0)
         _require(known > 0 and size % known == 0, f"cannot reshape {a.shape} to {shape}")
         shape = tuple(size // known if s < 0 else s for s in shape)
     _require(
-        int(np.prod(shape, dtype=np.int64)) == size,
+        prod(shape) == size,
         f"cannot reshape {a.shape} (size {size}) to {shape}",
     )
     return ArraySpec(shape, a.dtype)
@@ -279,7 +296,10 @@ def _mean(args, kwargs) -> ArraySpec:
 
 def _gather_rows(args, kwargs) -> ArraySpec:
     x, index = args
-    index = np.asarray(index)
+    # The index may itself be a plan input (MD plans rebind edge lists
+    # per replay), in which case it arrives abstract already.
+    if not isinstance(index, ArraySpec):
+        index = spec_of(np.asarray(index))
     _require(x.ndim >= 1, "gather_rows needs at least 1-D input")
     _require(index.dtype.kind in "iu", f"gather index must be integral, got {index.dtype}")
     return ArraySpec(index.shape + x.shape[1:], x.dtype)
@@ -287,7 +307,8 @@ def _gather_rows(args, kwargs) -> ArraySpec:
 
 def _segment_sum(args, kwargs) -> ArraySpec:
     x, segment_ids, num_segments = args
-    segment_ids = np.asarray(segment_ids)
+    if not isinstance(segment_ids, ArraySpec):
+        segment_ids = spec_of(np.asarray(segment_ids))
     _require(x.ndim >= 1, "segment_sum needs at least 1-D input")
     _require(
         segment_ids.shape == x.shape[:1],
@@ -428,6 +449,7 @@ register_spec(_ops.Clip, _clip)
 register_spec(_ops.EinsumTP, _einsum_tp)
 register_spec(_ChannelMix, _channel_mix)
 register_spec(_EdgeNorm, _edge_norm)
+register_spec(_WithinCutoff, _float_unary)
 register_spec(_SphericalHarmonicsOp, _spherical_harmonics)
 register_spec(_BesselBasis, _bessel_basis)
 register_spec(_ChannelwiseTPBaseline, _channelwise_tp)

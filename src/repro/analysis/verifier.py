@@ -19,8 +19,15 @@ build metadata the plan recorded (:class:`~repro.runtime.plan.PlanMeta`):
   (and the seed) has the shape/dtype of the forward value it is the
   gradient of;
 * **elimination audit** — dead-node elimination dropped only
-  instructions whose output nothing live consumes, and constant folding
-  reclassified only all-constant subgraphs.
+  instructions whose output nothing live consumes, constant folding
+  reclassified only all-constant subgraphs, and chain fusion
+  internalized only slots no surviving instruction reads;
+* **arena and donation audit** — every buffer donation the memory
+  planner consumed is a legal pair under the liveness analysis
+  (:mod:`repro.analysis.liveness`) on an alias-safe ``out=`` op, every
+  static arena buffer matches its slot's recorded shape/dtype, buffers
+  are reused only across disjoint storage lifetimes, and no arena
+  buffer aliases a folded constant.
 
 A violation raises :class:`PlanInvalid`, whose message pinpoints the
 offending instruction (``forward[12] Mul: ...``).  Verification is pure
@@ -112,17 +119,32 @@ def verify_plan(plan, strict: bool = True) -> Dict[str, int]:
     defined.update(slot for slot, value in enumerate(plan._values) if value is not None)
 
     # -- forward walk: def-before-use, guard coverage, spec inference.
+    # Hot path (runs once per verified cache insert): metadata tables
+    # are hoisted to locals.
+    slot_shapes, slot_dtypes = meta.slot_shapes, meta.slot_dtypes
+    kinds, const = meta.kinds, meta.const
     specs_checked = 0
+    # Abstract values memoized per slot for the duration of this call:
+    # a slot's shape/dtype never changes, and rules only read specs.
+    spec_of: Dict[int, ArraySpec] = {}
     for i, instr in enumerate(plan._forward):
-        where = f"forward[{i}] {_op_name(instr)}"
-        bound = {slot for _, slot in instr.bindings}
-        if bound != set(instr.tensor_slots):
-            _fail(where, "bindings and tensor_slots disagree")
+        # Failure messages (f"forward[{i}] {_op_name(instr)}") are built
+        # only on the failing branch — the success path, which runs for
+        # every instruction of every verified insert, allocates no
+        # strings.
+        if [slot for _, slot in instr.bindings] != list(instr.tensor_slots) and {
+            slot for _, slot in instr.bindings
+        } != set(instr.tensor_slots):
+            _fail(f"forward[{i}] {_op_name(instr)}", "bindings and tensor_slots disagree")
         for slot in instr.tensor_slots:
             if not 0 <= slot < n_slots:
-                _fail(where, f"reads slot {slot} outside the value table (0..{n_slots - 1})")
+                _fail(
+                    f"forward[{i}] {_op_name(instr)}",
+                    f"reads slot {slot} outside the value table (0..{n_slots - 1})",
+                )
             if slot not in defined:
-                kind = meta.kinds[slot]
+                where = f"forward[{i}] {_op_name(instr)}"
+                kind = kinds[slot]
                 if kind == "input":
                     _fail(where, f"input slot {slot} has no replay guard (missing guard)")
                 if kind == "param":
@@ -130,40 +152,46 @@ def verify_plan(plan, strict: bool = True) -> Dict[str, int]:
                 _fail(where, f"reads slot {slot} before it is defined (dangling slot)")
         out = instr.out_slot
         if not 0 <= out < n_slots:
-            _fail(where, f"writes slot {out} outside the value table")
+            _fail(f"forward[{i}] {_op_name(instr)}", f"writes slot {out} outside the value table")
         if out in defined:
-            _fail(where, f"slot {out} defined twice")
-        if meta.kinds[out] != "node":
-            _fail(where, f"writes slot {out} of kind {meta.kinds[out]!r}")
-        if meta.const[out]:
-            _fail(where, f"writes slot {out} that folding marked constant")
-        if instr.tensor_slots and all(meta.const[s] for s in instr.tensor_slots):
-            _fail(where, "all operands constant — folding should have removed this")
+            _fail(f"forward[{i}] {_op_name(instr)}", f"slot {out} defined twice")
+        if kinds[out] != "node":
+            _fail(f"forward[{i}] {_op_name(instr)}", f"writes slot {out} of kind {kinds[out]!r}")
+        if const[out]:
+            _fail(
+                f"forward[{i}] {_op_name(instr)}",
+                f"writes slot {out} that folding marked constant",
+            )
+        if instr.tensor_slots and all(const[s] for s in instr.tensor_slots):
+            _fail(
+                f"forward[{i}] {_op_name(instr)}",
+                "all operands constant — folding should have removed this",
+            )
 
         rule_args = list(instr.args)
         try:
             for position, slot in instr.bindings:
-                rule_args[position] = ArraySpec(
-                    meta.slot_shapes[slot], meta.slot_dtypes[slot]
-                )
+                spec = spec_of.get(slot)
+                if spec is None:
+                    spec = spec_of[slot] = ArraySpec(slot_shapes[slot], slot_dtypes[slot])
+                rule_args[position] = spec
             inferred = infer_output_spec(instr.fn, rule_args, instr.kwargs)
         except SpecError as exc:
             if strict:
-                _fail(where, str(exc))
+                _fail(f"forward[{i}] {_op_name(instr)}", str(exc))
             inferred = None
         if inferred is not None:
-            recorded = ArraySpec(meta.slot_shapes[out], meta.slot_dtypes[out])
-            if inferred.shape != recorded.shape:
+            if inferred.shape != slot_shapes[out]:
                 _fail(
-                    where,
+                    f"forward[{i}] {_op_name(instr)}",
                     f"inferred output shape {inferred.shape} but recorded "
-                    f"buffer is {recorded.shape}",
+                    f"buffer is {slot_shapes[out]}",
                 )
-            if inferred.dtype != recorded.dtype:
+            if inferred.dtype != slot_dtypes[out]:
                 _fail(
-                    where,
+                    f"forward[{i}] {_op_name(instr)}",
                     f"inferred output dtype {inferred.dtype} but recorded "
-                    f"buffer is {recorded.dtype}",
+                    f"buffer is {slot_dtypes[out]}",
                 )
             specs_checked += 1
         defined.add(out)
@@ -194,6 +222,14 @@ def verify_plan(plan, strict: bool = True) -> Dict[str, int]:
             )
         if not meta.const[out_slot]:
             _fail("plan", f"folded slot {out_slot} is not marked constant")
+    for names, out_slot, interior in getattr(meta, "fused", ()):
+        for slot in interior:
+            if slot in consumed:
+                _fail(
+                    "plan",
+                    f"fusion of {'+'.join(names)} internalized slot {slot}, "
+                    f"which the live program still consumes",
+                )
 
     # -- backward program.
     n_backward = 0
@@ -227,42 +263,49 @@ def verify_plan(plan, strict: bool = True) -> Dict[str, int]:
             if entry is None:
                 _fail(f"backward[{j}]", "no matching forward instruction")
             i, fwd = entry
-            where = f"backward[{j}] {_op_name(fwd)}"
+            # As in the forward walk, instruction names are formatted
+            # only on failing branches.
             if i >= previous_index:
-                _fail(where, "backward instructions are not in reverse-topological order")
+                _fail(
+                    f"backward[{j}] {_op_name(fwd)}",
+                    "backward instructions are not in reverse-topological order",
+                )
             previous_index = i
             if binstr.out_slot != fwd.out_slot:
                 _fail(
-                    where,
+                    f"backward[{j}] {_op_name(fwd)}",
                     f"consumes gradient of slot {binstr.out_slot} but its "
                     f"forward produced slot {fwd.out_slot}",
                 )
             if binstr.out_slot not in grad_defined:
                 _fail(
-                    where,
+                    f"backward[{j}] {_op_name(fwd)}",
                     f"gradient of slot {binstr.out_slot} is consumed before "
                     f"any contribution reaches it",
                 )
             for grad_index, slot, buffer in binstr.targets:
                 if not 0 <= grad_index < len(fwd.tensor_slots):
-                    _fail(where, f"gradient index {grad_index} out of range")
+                    _fail(
+                        f"backward[{j}] {_op_name(fwd)}",
+                        f"gradient index {grad_index} out of range",
+                    )
                 if slot != fwd.tensor_slots[grad_index]:
                     _fail(
-                        where,
+                        f"backward[{j}] {_op_name(fwd)}",
                         f"gradient {grad_index} targets slot {slot} but the "
                         f"forward operand lives in slot {fwd.tensor_slots[grad_index]}",
                     )
                 if buffer is not None:
                     if buffer.shape != meta.slot_shapes[slot]:
                         _fail(
-                            where,
+                            f"backward[{j}] {_op_name(fwd)}",
                             f"gradient buffer for slot {slot} has shape "
                             f"{buffer.shape} but the forward value is "
                             f"{meta.slot_shapes[slot]} (bad grad shape)",
                         )
                     if buffer.dtype != np.float64:
                         _fail(
-                            where,
+                            f"backward[{j}] {_op_name(fwd)}",
                             f"gradient buffer for slot {slot} is {buffer.dtype}, "
                             f"expected float64",
                         )
@@ -278,9 +321,160 @@ def verify_plan(plan, strict: bool = True) -> Dict[str, int]:
             if slot is not None and slot not in input_slots:
                 _fail("plan", f"input gradient slot {slot} is not a guarded input")
 
+    # -- arena and donation audit: re-derive liveness independently and
+    # prove every write target the memory planner chose is legal.
+    donor_instrs = [
+        (i, instr)
+        for i, instr in enumerate(plan._forward)
+        if getattr(instr, "donor_slot", None) is not None
+    ]
+    buffered_instrs = [
+        (i, instr)
+        for i, instr in enumerate(plan._forward)
+        if getattr(instr, "out_buffer", None) is not None
+    ]
+    n_donated = len(donor_instrs)
+    if donor_instrs or buffered_instrs:
+        from .liveness import _liveness_core, constant_bounds, storage_bounds
+
+        _, last_use, members, donations = _liveness_core(plan)
+        legal = {(i, donor) for i, donor, _ in donations}
+        class_last = list(last_use)
+        for cls in members.values():
+            if len(cls) < 2:
+                continue
+            t = max(last_use[m] for m in cls)
+            for m in cls:
+                class_last[m] = max(class_last[m], t)
+
+        for i, instr in donor_instrs:
+            where = f"forward[{i}] {_op_name(instr)}"
+            fn = instr.fn
+            if not (getattr(fn, "supports_out", False) and getattr(fn, "out_alias_safe", False)):
+                _fail(
+                    where,
+                    f"illegal donation: op does not support alias-safe "
+                    f"out= writes but donates slot {instr.donor_slot}",
+                )
+            if instr.out_buffer is not None:
+                _fail(where, "instruction both donates and holds an arena buffer")
+            if (i, instr.donor_slot) not in legal:
+                _fail(
+                    where,
+                    f"slot {instr.donor_slot} -> slot {instr.out_slot} is "
+                    f"not a legal donation pair (donor still live or not "
+                    f"plan-owned)",
+                )
+        const_slots, const_starts, const_ends = constant_bounds(plan)
+        buffer_rows = []
+        bounds_of: Dict[int, tuple] = {}  # lint: allow-id-keyed-dict
+        for i, instr in buffered_instrs:
+            where = f"forward[{i}] {_op_name(instr)}"
+            if not getattr(instr.fn, "supports_out", False):
+                _fail(where, "holds an arena buffer but does not support out=")
+            buf = instr.out_buffer
+            out = instr.out_slot
+            if buf.shape != meta.slot_shapes[out] or buf.dtype != meta.slot_dtypes[out]:
+                _fail(
+                    where,
+                    f"arena buffer is {buf.shape}/{buf.dtype} but slot {out} "
+                    f"recorded {meta.slot_shapes[out]}/{meta.slot_dtypes[out]}",
+                )
+            bounds = storage_bounds(buf)
+            bounds_of[id(buf)] = bounds  # lint: allow-id-keyed-dict
+            buffer_rows.append((where, bounds))
+        if buffer_rows and const_slots:
+            # Bounds check, not the exact solver: arena buffers are
+            # whole allocations, so range overlap == true aliasing.
+            # One vectorized buffers-x-constants sweep.
+            b = np.asarray([bounds for _, bounds in buffer_rows], dtype=np.int64)
+            overlap = (const_starts < b[:, 1:2]) & (b[:, 0:1] < const_ends)
+            if overlap.any():
+                row, col = np.argwhere(overlap)[0]
+                _fail(
+                    buffer_rows[row][0],
+                    f"arena buffer aliases constant slot {const_slots[col]}",
+                )
+
+        # Storage occupancy: buffers pinned by plan._forward while we
+        # verify, so their id()s cannot be recycled mid-walk.  A buffer
+        # may host several slots over the program, but their storage
+        # lifetimes must be disjoint — except the in-place handoff of a
+        # donation, where the new occupant starts exactly where the
+        # donor's lifetime ends.
+        occupants: Dict[int, List[tuple]] = {}  # lint: allow-id-keyed-dict
+        holder: Dict[int, int] = {}  # slot -> id(buffer) backing its value
+        buffer_of: Dict[int, np.ndarray] = {}  # lint: allow-id-keyed-dict
+        for i, instr in enumerate(plan._forward):
+            out = instr.out_slot
+            donor = getattr(instr, "donor_slot", None)
+            if donor is not None:
+                buf_id = holder.get(donor)
+                if buf_id is None:
+                    continue  # donor storage is dynamic; nothing static to audit
+                via = donor
+            elif instr.out_buffer is not None:
+                buf_id = id(instr.out_buffer)  # lint: allow-id-keyed-dict
+                buffer_of[buf_id] = instr.out_buffer
+                via = None
+            else:
+                continue
+            occupants.setdefault(buf_id, []).append((i, class_last[out], out, via))
+            holder[out] = buf_id
+        for entries in occupants.values():
+            entries.sort()
+            for (p_def, p_end, p_slot, _), (c_def, c_end, c_slot, c_via) in zip(
+                entries, entries[1:]
+            ):
+                handoff = c_via == p_slot and p_end <= c_def
+                if p_end >= c_def and not handoff:
+                    _fail(
+                        "plan",
+                        f"arena buffer reused for slot {c_slot} while slot "
+                        f"{p_slot} is still live (lifetimes "
+                        f"[{p_def}, {p_end}] vs [{c_def}, {c_end}])",
+                    )
+
+        # Arena buffers are views packed into one slab: any two storages
+        # whose byte ranges overlap must have disjoint occupancy spans
+        # (a span covers every slot the storage hosts, donations
+        # included).
+        rows = []
+        for buf_id, entries in occupants.items():
+            buf = buffer_of.get(buf_id)
+            if buf is None:
+                continue
+            # Bounds already computed in the buffer-row sweep above;
+            # buffers are pinned by plan._forward so the id is stable.
+            lo, hi = bounds_of.get(buf_id) or storage_bounds(buf)
+            rows.append(
+                (
+                    lo,
+                    hi,
+                    min(e[0] for e in entries),
+                    max(e[1] for e in entries),
+                    entries[0][2],
+                )
+            )
+        if len(rows) > 1:
+            b0, b1, t0, t1, slots = (np.asarray(col) for col in zip(*rows))
+            bytes_overlap = (b0[:, None] < b1[None, :]) & (b0[None, :] < b1[:, None])
+            time_overlap = (t0[:, None] <= t1[None, :]) & (t0[None, :] <= t1[:, None])
+            bad = bytes_overlap & time_overlap
+            np.fill_diagonal(bad, False)
+            if bad.any():
+                a, c = np.argwhere(bad)[0]
+                _fail(
+                    "plan",
+                    f"arena storage for slot {slots[a]} overlaps storage "
+                    f"for slot {slots[c]} while both are live",
+                )
+
     return {
         "forward_ops": len(plan._forward),
         "backward_ops": n_backward,
         "specs_checked": specs_checked,
         "slots": n_slots,
+        "donated_instrs": n_donated,
+        "arena_buffers": len(buffered_instrs),
     }

@@ -107,10 +107,34 @@ class Function:
     repository are covered by the registry in
     :mod:`repro.analysis.specs`; third-party Functions can either set
     this attribute or call ``repro.analysis.register_spec``.
+
+    ``supports_out`` declares the opt-in write-into protocol: a subclass
+    setting it ``True`` accepts an ``out=`` keyword in :meth:`forward`
+    and, when a buffer is passed, writes the result into it and returns
+    that same buffer.  The contract is strict so the arena planner in
+    :mod:`repro.runtime.plan` can preassign buffers:
+
+    * ``out`` always has exactly the shape/dtype of the eager result;
+    * with ``out=None`` (the eager path — :meth:`apply` never passes a
+      buffer) behavior is bit-identical to before the migration;
+    * forward must not retain any reference to ``out`` beyond the
+      returned value and ``self.saved`` (enforced by the
+      ``supports-out-retains-buffer`` lint rule) — the planner may hand
+      the same buffer to other instructions once this value dies.
+
+    ``out_alias_safe`` additionally declares that ``out`` may alias one
+    of the operand arrays (true for straight NumPy ufunc elementwise
+    ops, which read each element before writing it; never true for
+    GEMMs, gathers, reductions or the fused kernels).  Only
+    ``out_alias_safe`` ops are eligible for operand-buffer *donation*;
+    everything else still gets an arena buffer that is guaranteed
+    disjoint from its live operands.
     """
 
     grad_mask: Optional[Tuple[bool, ...]] = None
     infer_spec: Optional[Callable] = None
+    supports_out: bool = False
+    out_alias_safe: bool = False
 
     def __init__(self) -> None:
         self.inputs: Tuple["Tensor", ...] = ()
@@ -356,9 +380,12 @@ def as_tensor(x: TensorLike) -> Tensor:
 
 
 class Add(Function):
-    def forward(self, a, b):
-        self.saved = (a.shape, b.shape)
-        return a + b
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, b, out=None):
+        self.saved = (np.shape(a), np.shape(b))
+        return np.add(a, b, out=out) if out is not None else a + b
 
     def backward(self, grad):
         sa, sb = self.saved
@@ -370,9 +397,12 @@ class Add(Function):
 
 
 class Sub(Function):
-    def forward(self, a, b):
-        self.saved = (a.shape, b.shape)
-        return a - b
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, b, out=None):
+        self.saved = (np.shape(a), np.shape(b))
+        return np.subtract(a, b, out=out) if out is not None else a - b
 
     def backward(self, grad):
         sa, sb = self.saved
@@ -384,9 +414,12 @@ class Sub(Function):
 
 
 class Mul(Function):
-    def forward(self, a, b):
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, b, out=None):
         self.saved = (a, b)
-        return a * b
+        return np.multiply(a, b, out=out) if out is not None else a * b
 
     def backward(self, grad):
         a, b = self.saved
@@ -398,9 +431,12 @@ class Mul(Function):
 
 
 class Div(Function):
-    def forward(self, a, b):
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, b, out=None):
         self.saved = (a, b)
-        return a / b
+        return np.divide(a, b, out=out) if out is not None else a / b
 
     def backward(self, grad):
         a, b = self.saved
@@ -411,17 +447,23 @@ class Div(Function):
 
 
 class Neg(Function):
-    def forward(self, a):
-        return -a
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
+        return np.negative(a, out=out) if out is not None else -a
 
     def backward(self, grad):
         return (-grad,)
 
 
 class Pow(Function):
-    def forward(self, a, exponent: float):
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, exponent: float, out=None):
         self.saved = (a, exponent)
-        return a ** exponent
+        return np.power(a, exponent, out=out) if out is not None else a ** exponent
 
     def backward(self, grad):
         a, p = self.saved
@@ -429,9 +471,11 @@ class Pow(Function):
 
 
 class MatMul(Function):
-    def forward(self, a, b):
+    supports_out = True  # GEMM output must stay disjoint from operands
+
+    def forward(self, a, b, out=None):
         self.saved = (a, b)
-        return a @ b
+        return np.matmul(a, b, out=out) if out is not None else a @ b
 
     def backward(self, grad):
         a, b = self.saved
@@ -508,9 +552,11 @@ class Transpose(Function):
 
 
 class Sum(Function):
-    def forward(self, a, axis, keepdims):
+    supports_out = True  # reduction: out may not alias the operand
+
+    def forward(self, a, axis, keepdims, out=None):
         self.saved = (a.shape, axis, keepdims)
-        return a.sum(axis=axis, keepdims=keepdims)
+        return a.sum(axis=axis, keepdims=keepdims, out=out)
 
     def backward(self, grad):
         shape, axis, keepdims = self.saved
@@ -525,9 +571,11 @@ class Sum(Function):
 
 
 class Mean(Function):
-    def forward(self, a, axis, keepdims):
+    supports_out = True  # reduction: out may not alias the operand
+
+    def forward(self, a, axis, keepdims, out=None):
         self.saved = (a.shape, axis, keepdims)
-        return a.mean(axis=axis, keepdims=keepdims)
+        return a.mean(axis=axis, keepdims=keepdims, out=out)
 
     def backward(self, grad):
         shape, axis, keepdims = self.saved
@@ -544,8 +592,11 @@ class Mean(Function):
 
 
 class Exp(Function):
-    def forward(self, a):
-        out = np.exp(a)
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
+        out = np.exp(a, out=out) if out is not None else np.exp(a)
         self.saved = (out,)
         return out
 
@@ -555,9 +606,12 @@ class Exp(Function):
 
 
 class Log(Function):
-    def forward(self, a):
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
         self.saved = (a,)
-        return np.log(a)
+        return np.log(a, out=out) if out is not None else np.log(a)
 
     def backward(self, grad):
         (a,) = self.saved
@@ -565,8 +619,11 @@ class Log(Function):
 
 
 class Sqrt(Function):
-    def forward(self, a):
-        out = np.sqrt(a)
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
+        out = np.sqrt(a, out=out) if out is not None else np.sqrt(a)
         self.saved = (out,)
         return out
 
@@ -576,8 +633,11 @@ class Sqrt(Function):
 
 
 class Tanh(Function):
-    def forward(self, a):
-        out = np.tanh(a)
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
+        out = np.tanh(a, out=out) if out is not None else np.tanh(a)
         self.saved = (out,)
         return out
 

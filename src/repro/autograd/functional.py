@@ -12,9 +12,14 @@ __all__ = ["silu", "relu", "softplus", "sigmoid", "mse", "weighted_mse", "l2_nor
 class SiLU(Function):
     """``x * sigmoid(x)`` — MACE's nonlinearity for radial MLPs/readouts."""
 
-    def forward(self, a):
+    supports_out = True
+    out_alias_safe = True  # sig is computed before the out write
+
+    def forward(self, a, out=None):
         sig = 1.0 / (1.0 + np.exp(-a))
         self.saved = (a, sig)
+        if out is not None:
+            return np.multiply(a, sig, out=out)
         return a * sig
 
     def backward(self, grad):
@@ -28,8 +33,13 @@ def silu(x: Tensor) -> Tensor:
 
 
 class ReLU(Function):
-    def forward(self, a):
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
         self.saved = (a > 0.0,)
+        if out is not None:
+            return np.maximum(a, 0.0, out=out)
         return np.maximum(a, 0.0)
 
     def backward(self, grad):
@@ -43,8 +53,16 @@ def relu(x: Tensor) -> Tensor:
 
 
 class Sigmoid(Function):
-    def forward(self, a):
-        out = 1.0 / (1.0 + np.exp(-a))
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
+        if out is not None:
+            np.exp(np.negative(a, out=out), out=out)
+            out += 1.0
+            np.divide(1.0, out, out=out)
+        else:
+            out = 1.0 / (1.0 + np.exp(-a))
         self.saved = (out,)
         return out
 
@@ -59,8 +77,13 @@ def sigmoid(x: Tensor) -> Tensor:
 
 
 class Softplus(Function):
-    def forward(self, a):
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, out=None):
         self.saved = (a,)
+        if out is not None:
+            return np.logaddexp(0.0, a, out=out)
         return np.logaddexp(0.0, a)
 
     def backward(self, grad):

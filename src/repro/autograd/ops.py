@@ -26,7 +26,13 @@ __all__ = [
 ]
 
 
-def _scatter_add_rows(fn: Function, shape, index: np.ndarray, values: np.ndarray) -> np.ndarray:
+def _scatter_add_rows(
+    fn: Function,
+    shape,
+    index: np.ndarray,
+    values: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Row scatter-add with a per-instance plan for replayed Functions.
 
     Eager execution creates a fresh ``Function`` per call, so the first
@@ -40,9 +46,12 @@ def _scatter_add_rows(fn: Function, shape, index: np.ndarray, values: np.ndarray
     the runtime's 1e-10 equivalence contract.
     """
     state = fn.__dict__.get("_scatter_plan")
+    if out is None:
+        out = np.zeros(shape, dtype=np.float64)
+    else:
+        out.fill(0.0)
     if state is None or state[0] is not index:
         fn._scatter_plan = (index, None)
-        out = np.zeros(shape, dtype=np.float64)
         np.add.at(out, index, values)
         return out
     plan = state[1]
@@ -57,7 +66,6 @@ def _scatter_add_rows(fn: Function, shape, index: np.ndarray, values: np.ndarray
         plan = (order, segments, starts)
         fn._scatter_plan = (index, plan)
     order, segments, starts = plan
-    out = np.zeros(shape, dtype=np.float64)
     if starts.size:
         out[segments] = np.add.reduceat(values[order], starts, axis=0)
     return out
@@ -66,8 +74,17 @@ def _scatter_add_rows(fn: Function, shape, index: np.ndarray, values: np.ndarray
 class GatherRows(Function):
     """``out[e] = x[index[e]]`` along axis 0 (edge gather)."""
 
-    def forward(self, x, index):
+    supports_out = True  # gather: out may not alias the source rows
+
+    def forward(self, x, index, out=None):
         self.saved = (x.shape, index)
+        if out is not None:
+            # mode="clip" keeps take on its unbuffered fast path (the
+            # default "raise" is ~3x slower with out=).  Bounds were
+            # checked by the eager capture pass; an out-of-range index in
+            # a replayed input would trip the fancy-index path at capture
+            # time, never this one.
+            return np.take(x, index, axis=0, out=out, mode="clip")
         return x[index]
 
     def backward(self, grad):
@@ -75,18 +92,30 @@ class GatherRows(Function):
         return (_scatter_add_rows(self, shape, index, grad), None)
 
 
-def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
-    """Differentiable row gather: ``out[i] = x[index[i]]``."""
-    return GatherRows.apply(x, np.asarray(index, dtype=np.int64))
+def gather_rows(x: Tensor, index) -> Tensor:
+    """Differentiable row gather: ``out[i] = x[index[i]]``.
+
+    ``index`` is normally a raw integer array (a structural constant of
+    the graph, burned into compiled plans).  It may also be an integer
+    :class:`Tensor` (``requires_grad=False``), in which case a compiled
+    plan that lists it among its inputs treats the gather pattern as a
+    replayable *input* — the MD calculator uses this so neighbor-list
+    rebuilds replay the same plan instead of recapturing.
+    """
+    if not isinstance(index, Tensor):
+        index = np.asarray(index, dtype=np.int64)
+    return GatherRows.apply(x, index)
 
 
 class SegmentSum(Function):
     """``out[s] = sum_{i : seg[i] == s} x[i]`` (message aggregation)."""
 
-    def forward(self, x, segment_ids, num_segments):
+    supports_out = True  # scatter: out may not alias the messages
+
+    def forward(self, x, segment_ids, num_segments, out=None):
         self.saved = (segment_ids,)
         return _scatter_add_rows(
-            self, (num_segments,) + x.shape[1:], segment_ids, x
+            self, (num_segments,) + x.shape[1:], segment_ids, x, out=out
         )
 
     def backward(self, grad):
@@ -94,21 +123,27 @@ class SegmentSum(Function):
         return (grad[segment_ids], None, None)
 
 
-def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:
     """Differentiable scatter-add along axis 0.
 
     The aggregation operation of equation (1): pooling messages from all
     neighbors ``j`` onto the receiving atom ``i`` (and, reused, pooling
-    per-atom energies per graph).
+    per-atom energies per graph).  ``segment_ids`` may be an integer
+    :class:`Tensor` to make the scatter pattern a replayable plan input
+    (see :func:`gather_rows`).
     """
-    return SegmentSum.apply(
-        x, np.asarray(segment_ids, dtype=np.int64), int(num_segments)
-    )
+    if not isinstance(segment_ids, Tensor):
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    return SegmentSum.apply(x, segment_ids, int(num_segments))
 
 
 class Concatenate(Function):
-    def forward(self, *arrays, axis=0):
+    supports_out = True  # copies into out; may not alias an operand
+
+    def forward(self, *arrays, axis=0, out=None):
         self.saved = (axis, [a.shape[axis] for a in arrays])
+        if out is not None:
+            return np.concatenate(arrays, axis=axis, out=out)
         return np.concatenate(arrays, axis=axis)
 
     def backward(self, grad):
@@ -153,8 +188,13 @@ def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
 
 class Clip(Function):
-    def forward(self, a, lo, hi):
+    supports_out = True
+    out_alias_safe = True
+
+    def forward(self, a, lo, hi, out=None):
         self.saved = (a, lo, hi)
+        if out is not None:
+            return np.clip(a, lo, hi, out=out)
         return np.clip(a, lo, hi)
 
     def backward(self, grad):

@@ -264,8 +264,60 @@ def _cmd_plan_report(args: argparse.Namespace) -> int:
         )
         print("=" * 72)
         print(report.format())
+        if args.optimized:
+            print(_post_optimization_report(plan, report))
         print()
     return 0
+
+
+def _post_optimization_report(plan, report) -> str:
+    """What the optimizing passes actually consumed on a compiled plan.
+
+    Reports the fused-chain trail, how many of the liveness pass's legal
+    donation pairs the arena planner consumed, the arena slab size, and
+    the residual transients: instructions that still allocate a fresh
+    array every replay (a fully planned training-step plan shows zero of
+    both undonated legal pairs and fresh allocations).
+    """
+    from math import prod
+
+    from .runtime.plan import _is_basic_index
+
+    forward = plan._forward
+    meta = plan.meta
+    undonated = [
+        d for d in report.donations if forward[d.index].donor_slot is None
+    ]
+    outputs = set(plan._output_slots)
+    fresh_bytes = 0
+    for instr in forward:
+        if instr.out_buffer is not None or instr.donor_slot is not None:
+            continue
+        name = type(instr.fn).__name__
+        if name in ("Reshape", "Transpose", "_FusedElementwise") or (
+            name == "GetItem" and _is_basic_index(instr.kwargs["key"])
+        ):
+            continue  # views and fused-chain scratch allocate nothing
+        if instr.out_slot in outputs:
+            continue  # plan outputs are handed to the caller by design
+        fresh_bytes += (
+            prod(meta.slot_shapes[instr.out_slot])
+            * meta.slot_dtypes[instr.out_slot].itemsize
+        )
+    arena_buffers = sum(1 for i in forward if i.out_buffer is not None)
+    lines = [
+        "-" * 72,
+        "post-optimization",
+        f"  fused chains            : {len(meta.fused)} "
+        f"({plan.n_fused_away} instructions eliminated)",
+        f"  donated pairs consumed  : {plan.n_donated} of "
+        f"{len(report.donations)} legal ({len(undonated)} left undonated)",
+        f"  arena slab              : {plan._arena_nbytes} bytes "
+        f"backing {arena_buffers} output buffers",
+        f"  residual transients     : {plan.n_alloc_instrs} fresh-allocating "
+        f"instructions, {fresh_bytes} bytes per replay (outputs excluded)",
+    ]
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -400,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["train", "forces", "energy", "all"],
         default="all",
         help="which plan(s) to capture and analyze (default all)",
+    )
+    p_plan.add_argument(
+        "--optimized",
+        action="store_true",
+        help=(
+            "append the post-optimization report: fused-instruction "
+            "count, donated pairs consumed, arena slab size and the "
+            "residual per-replay allocations"
+        ),
     )
     p_plan.add_argument("--samples", type=int, default=4)
     p_plan.add_argument("--channels", type=int, default=4)

@@ -38,6 +38,7 @@ import numpy as np
 
 __all__ = [
     "spherical_harmonics",
+    "spherical_harmonics_backward",
     "sh_block_slice",
     "sh_dim",
     "legendre_p",
@@ -251,3 +252,112 @@ def spherical_harmonics(
             flat[base : base + l] = (pl * sin_m[1 : l + 1])[::-1]
     out[...] = np.moveaxis(flat, 0, -1)
     return out
+
+
+def spherical_harmonics_backward(
+    lmax: int,
+    vectors: np.ndarray,
+    grad: np.ndarray,
+    normalization: str = "integral",
+) -> np.ndarray:
+    """Closed-form gradient of :func:`spherical_harmonics` wrt ``vectors``.
+
+    Uses the polynomial (pole-safe) parameterization: on the unit sphere
+    ``Y_l^m = N Q_l^m(z) C_m(x, y)`` (cos rows) and ``N Q_l^m(z) S_m(x, y)``
+    (sin rows) where ``Q_l^m = P_l^m / s^m`` is a *polynomial* in ``z``
+    (the ``s^m`` factor of the associated Legendre function cancels against
+    ``s^m cos(m phi) = Re((x + iy)^m) = C_m``).  Both ``Q`` and its
+    ``z``-derivative follow the standard Legendre recursion with ``s := 1``,
+    so the gradient is exact everywhere — including at the poles, where the
+    ``phi``-based chain rule is singular.
+
+    Parameters
+    ----------
+    lmax, vectors, normalization:
+        As in :func:`spherical_harmonics` (with ``normalize=True``).
+    grad:
+        Cotangent of shape ``(..., (lmax + 1)^2)``.
+
+    Returns
+    -------
+    Gradient wrt the raw (unnormalized) vectors, shape ``(..., 3)``.  Rows
+    with zero-length vectors get zero gradient (the forward pins them to
+    ``+z``; the map is not differentiable there).
+    """
+    if normalization not in ("integral", "component"):
+        raise ValueError(f"unknown normalization {normalization!r}")
+    v = np.asarray(vectors, dtype=np.float64)
+    g = np.asarray(grad, dtype=np.float64)
+    if v.shape[-1] != 3:
+        raise ValueError(f"expected (..., 3) vectors, got shape {v.shape}")
+    expected = v.shape[:-1] + (sh_dim(lmax),)
+    if g.shape != expected:
+        raise ValueError(f"grad has shape {g.shape}, expected {expected}")
+    norm = np.linalg.norm(v, axis=-1, keepdims=True)
+    safe = np.where(norm > 0.0, norm, 1.0)
+    u = v / safe
+    u = np.where(norm > 0.0, u, np.array([0.0, 0.0, 1.0]))
+    x, y = u[..., 0], u[..., 1]
+    z = np.clip(u[..., 2], -1.0, 1.0)
+    shape = x.shape
+    extra = (1,) * x.ndim
+
+    # Q_l^m(z) = P_l^m / s^m and dQ/dz via the Legendre recursion with s := 1.
+    diag, off, rows = _legendre_coeffs(lmax)
+    q = np.zeros((lmax + 1, lmax + 1) + shape, dtype=np.float64)
+    dq = np.zeros_like(q)
+    q[0, 0] = 1.0
+    for m in range(1, lmax + 1):
+        q[m, m] = diag[m - 1] * q[m - 1, m - 1]  # (2m - 1)!!, constant in z
+    for m in range(0, lmax):
+        q[m + 1, m] = z * off[m] * q[m, m]
+        dq[m + 1, m] = off[m] * q[m, m]
+    for l in range(2, lmax + 1):
+        num, den = rows[l - 2]
+        numr = num.reshape(num.shape + extra)
+        denr = den.reshape(den.shape + extra)
+        q[l, : l - 1] = (
+            z * (2 * l - 1) * q[l - 1, : l - 1] - numr * q[l - 2, : l - 1]
+        ) / denr
+        dq[l, : l - 1] = (
+            (2 * l - 1) * (q[l - 1, : l - 1] + z * dq[l - 1, : l - 1])
+            - numr * dq[l - 2, : l - 1]
+        ) / denr
+
+    # C_m + i S_m = (x + i y)^m; dC_m/dx = m C_{m-1}, dC_m/dy = -m S_{m-1},
+    # dS_m/dx = m S_{m-1}, dS_m/dy = m C_{m-1}.
+    c = np.empty((lmax + 1,) + shape, dtype=np.float64)
+    s = np.empty_like(c)
+    c[0] = 1.0
+    s[0] = 0.0
+    for m in range(1, lmax + 1):
+        c[m] = c[m - 1] * x - s[m - 1] * y
+        s[m] = s[m - 1] * x + c[m - 1] * y
+
+    # Accumulate the extension gradient wrt (x, y, z); the cotangent is
+    # moved to structure-leading layout so each degree is one block read.
+    norm_m0, norm_rows = _sh_tables(lmax, normalization)
+    g_lead = np.moveaxis(g, -1, 0)
+    gx = np.zeros(shape, dtype=np.float64)
+    gy = np.zeros(shape, dtype=np.float64)
+    gz = np.zeros(shape, dtype=np.float64)
+    for l in range(lmax + 1):
+        base = l * l
+        gz += norm_m0[l] * dq[l, 0] * g_lead[base + l]
+        if l:
+            nr = norm_rows[l].reshape((l,) + extra)
+            mr = np.arange(1.0, l + 1.0).reshape((l,) + extra)
+            g_cos = g_lead[base + l + 1 : base + 2 * l + 1]
+            g_sin = g_lead[base : base + l][::-1]  # stored m = l .. 1
+            nqm = nr * mr * q[l, 1 : l + 1]
+            gx += np.sum(nqm * (g_cos * c[:l] + g_sin * s[:l]), axis=0)
+            gy += np.sum(nqm * (g_sin * c[:l] - g_cos * s[:l]), axis=0)
+            ndq = nr * dq[l, 1 : l + 1]
+            gz += np.sum(ndq * (g_cos * c[1 : l + 1] + g_sin * s[1 : l + 1]), axis=0)
+
+    # Chain through the normalization u = v / |v|: project onto the tangent
+    # space (any smooth extension agrees there) and divide by |v|.
+    g_u = np.stack((gx, gy, gz), axis=-1)
+    g_u -= np.sum(g_u * u, axis=-1, keepdims=True) * u
+    g_u /= safe
+    return np.where(norm > 0.0, g_u, 0.0)

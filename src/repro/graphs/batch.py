@@ -42,6 +42,13 @@ class GraphBatch:
         ``(n_graphs,)`` reference energies (NaN where unlabeled).
     capacity:
         Token capacity the batch was packed into (0 = no fixed capacity).
+    masked_cutoff:
+        When set, ``edge_index`` is a candidate superset (Verlet-skin
+        candidates plus ghost padding) rather than the exact
+        within-cutoff set, and the model must mask every edge longer
+        than this radius so it contributes exactly zero (see
+        :class:`repro.md.MACECalculator`).  ``None`` (default) means the
+        edges are already exact.
     """
 
     positions: np.ndarray
@@ -52,6 +59,7 @@ class GraphBatch:
     n_graphs: int
     energies: np.ndarray
     capacity: int = 0
+    masked_cutoff: "float | None" = None
 
     @property
     def n_atoms(self) -> int:

@@ -253,6 +253,17 @@ class NeighborListCache:
         graph.edge_shift = self._cand_shift[within]
         return rebuilt
 
+    def candidate_edges(self):
+        """The current candidate set ``(index, shift)`` at ``cutoff + skin``.
+
+        Fixed between rebuilds (the arrays are reused by identity), which
+        is what lets padded-MD plan caches key on a step-invariant edge
+        set.  Raises if no query has been served yet.
+        """
+        if self._cand_index is None:
+            raise ValueError("no candidate list yet; call update() first")
+        return self._cand_index, self._cand_shift
+
     @property
     def reuse_fraction(self) -> float:
         """Fraction of queries served without a rebuild."""

@@ -42,6 +42,7 @@ import numpy as np
 from ..autograd.engine import Function, Tensor
 from ..equivariant.clebsch_gordan import cg_selection_ok, cg_sparse, clebsch_gordan
 from ..equivariant.spherical_harmonics import sh_block_slice, sh_dim
+from ..utils.alloc import colored_empty
 from .counters import record_kernel
 
 __all__ = [
@@ -294,7 +295,33 @@ class _ChannelwiseTPOptimized(Function):
     per-``i3`` Python loop and no ``np.add.at``.
     """
 
-    def forward(self, Y, h, R, table: ChannelwiseTPTable):
+    supports_out = True  # batched GEMM: out may not alias the operands
+
+    # Flipped to True per instance by the plan compiler (repro.runtime)
+    # when the instruction joins an optimized plan: only then is the
+    # instance long-lived and called once per replay, making transient
+    # reuse pay off.  Eager one-shot instances and 1:1 replay plans keep
+    # the allocate-fresh path.
+    replay_scratch = False
+
+    def _scratch(self, key: str, shape) -> np.ndarray:
+        """Per-instance transient buffer, reused across replays.
+
+        Only reached when ``replay_scratch`` is set: the pair-gather
+        transients — the largest per-call allocations in a compiled
+        training plan — would otherwise churn the allocator every
+        replay.  Keeping them on the instance makes steady-state replay
+        allocation-free and the buffer layout deterministic (same
+        memoization pattern as ``_scatter_plan``).
+        """
+        cache = self.__dict__.setdefault("_scratch_bufs", {})
+        buf = cache.get(key)
+        if buf is None or buf.shape != shape:
+            buf = colored_empty(shape, np.float64)
+            cache[key] = buf
+        return buf
+
+    def forward(self, Y, h, R, table: ChannelwiseTPTable, out=None):
         _check_shapes(Y, h, R, table)
         E, K = h.shape[0], h.shape[1]
         d3 = sh_dim(table.l3max)
@@ -309,10 +336,28 @@ class _ChannelwiseTPOptimized(Function):
         else:
             M = (Y @ table.reduce_y).reshape(E, table.n_pairs, d3)
             self._m_cache = (Y, M)
-        hp = h[:, :, table.pair_i2]  # (E, K, n_pairs)
-        Rp = R[:, :, table.pair_path]  # (E, K, n_pairs)
-        hr = hp * Rp
-        out = np.matmul(hr, M)  # (E, K, d3)
+        pair_shape = (E, K, table.n_pairs)
+        small = self.replay_scratch and E * K * table.n_pairs <= _PAIR_SAVE_MAX
+        if small:
+            # mode="clip" keeps take on its unbuffered fast path (see
+            # GatherRows); the pair indices come from the table and are
+            # in-range by construction.
+            hp = np.take(h, table.pair_i2, axis=2,
+                         out=self._scratch("hp", pair_shape), mode="clip")
+            Rp = np.take(R, table.pair_path, axis=2,
+                         out=self._scratch("Rp", pair_shape), mode="clip")
+            hr = np.multiply(hp, Rp, out=self._scratch("hr", pair_shape))
+        else:
+            # MD-sized blocks: transient buffers would pin hundreds of
+            # MB on the instance; allocate fresh as before.
+            hp = h[:, :, table.pair_i2]
+            Rp = R[:, :, table.pair_path]
+            hr = hp * Rp
+        if out is not None:
+            np.matmul(hr, M, out=out)  # (E, K, d3)
+            out_arr = out
+        else:
+            out_arr = np.matmul(hr, M)
         # M (the only term depending on Y) is always kept; the pair
         # gathers are kept too when small, else recomputed in backward
         # (see _PAIR_SAVE_MAX).
@@ -330,7 +375,7 @@ class _ChannelwiseTPOptimized(Function):
                 + E * K * d3
             ),
         )
-        return out
+        return out_arr
 
     def backward(self, grad):
         h, R, table, M, pair_cache = self.saved
@@ -342,17 +387,39 @@ class _ChannelwiseTPOptimized(Function):
             hr = hp * Rp if need_y else None
         else:
             hp, Rp, hr = pair_cache
+        pair_shape = (E, K, table.n_pairs)
+        small = self.replay_scratch and E * K * table.n_pairs <= _PAIR_SAVE_MAX
         gY = gh = gR = None
         if need_h or need_r:
             # d(hr): batched matmul against the per-edge operator.
-            g_hr = np.matmul(grad, M.transpose(0, 2, 1))  # (E, K, n_pairs)
+            g_hr = np.matmul(
+                grad,
+                M.transpose(0, 2, 1),
+                out=self._scratch("g_hr", pair_shape) if small else None,
+            )  # (E, K, n_pairs)
             if need_h:
-                gh = ((g_hr * Rp).reshape(E * K, -1) @ table.scatter_h).reshape(h.shape)
+                tmp = (
+                    np.multiply(g_hr, Rp, out=self._scratch("g_hr_Rp", pair_shape))
+                    if small
+                    else g_hr * Rp
+                )
+                gh = (tmp.reshape(E * K, -1) @ table.scatter_h).reshape(h.shape)
             if need_r:
-                gR = ((g_hr * hp).reshape(E * K, -1) @ table.scatter_path).reshape(R.shape)
+                tmp = (
+                    np.multiply(g_hr, hp, out=self._scratch("g_hr_hp", pair_shape))
+                    if small
+                    else g_hr * hp
+                )
+                gR = (tmp.reshape(E * K, -1) @ table.scatter_path).reshape(R.shape)
         if need_y:
             # d(M) reduces over channels, then the transposed Y reduction.
-            gM = np.matmul(hr.transpose(0, 2, 1), grad)  # (E, n_pairs, d3)
+            gM = np.matmul(
+                hr.transpose(0, 2, 1),
+                grad,
+                out=self._scratch("gM", (E, table.n_pairs, grad.shape[2]))
+                if small
+                else None,
+            )  # (E, n_pairs, d3)
             gY = gM.reshape(E, -1) @ table.reduce_y.T
         return gY, gh, gR, None
 

@@ -85,41 +85,48 @@ class _SegmentPlan:
     has two interchangeable realizations:
 
     * ``select`` — the ``(n_dst, n)`` 0/1 selection matrix; the segment
-      sum is one BLAS GEMM.  ``np.add.reduceat``'s inner loop is not
-      SIMD-vectorized (measured ~8x slower than the GEMM at this model's
-      block shapes), so for the tiny destination counts of the hot path
-      the GEMM is the fastest segment sum NumPy can express.
-    * the ``order``/``starts`` arrays — a row gather + ``np.add.reduceat``
-      pass along axis 0, used when ``n * n_dst`` is too large to
-      materialize densely.
+      sum is one BLAS GEMM.  For the tiny destination counts of the hot
+      path the GEMM is the fastest segment sum NumPy can express.
+    * the ``order``/``starts``/``ends`` arrays — a row gather followed by
+      a contiguous ``np.cumsum`` scan whose per-segment sums are the
+      boundary differences ``cs[ends - 1] - cs[starts - 1]``, used when
+      ``n * n_dst`` is too large to materialize densely.  Unlike the
+      ``np.add.reduceat`` fallback it replaces, the scan's inner loop is
+      SIMD-vectorized and its cost has no dependence on the segment-length
+      distribution (reduceat degenerates to a scalar loop on many short
+      segments — exactly this kernel's shape).
 
     Both are driven by the same precomputed index plan; tests assert they
     agree.
     """
 
     order: np.ndarray  # (n,) stable sort of the destination rows
-    starts: np.ndarray  # (n_segments,) reduceat boundaries
+    starts: np.ndarray  # (n_segments,) segment start offsets into order
+    ends: np.ndarray  # (n_segments,) segment end offsets (exclusive)
     targets: np.ndarray  # (n_segments,) distinct destination rows
     n_dst: int  # destination slot count
     select: Optional[np.ndarray]  # (n_dst, n) dense selection, or None
+
+    def _segment_sums(self, src: np.ndarray) -> np.ndarray:
+        """Per-segment row sums via one contiguous cumulative-sum scan."""
+        cs = np.cumsum(src[self.order], axis=0)
+        sums = cs[self.ends - 1]
+        sums[1:] -= cs[self.starts[1:] - 1]
+        return sums
 
     def scatter_add(self, dst: np.ndarray, src: np.ndarray) -> None:
         """``dst[targets] +=`` segment sums of ``src`` rows."""
         if self.select is not None:
             dst += self.select @ src
         else:
-            dst[self.targets] += np.add.reduceat(
-                src[self.order], self.starts, axis=0
-            )
+            dst[self.targets] += self._segment_sums(src)
 
     def scatter(self, src: np.ndarray) -> np.ndarray:
         """Fresh ``(n_dst, cols)`` array holding the scattered sums."""
         if self.select is not None:
             return self.select @ src
         out = np.zeros((self.n_dst, src.shape[1]), dtype=np.float64)
-        out[self.targets] = np.add.reduceat(
-            src[self.order], self.starts, axis=0
-        )
+        out[self.targets] = self._segment_sums(src)
         return out
 
 
@@ -129,11 +136,12 @@ def _segment_plan(rows: np.ndarray, n_dst: int) -> _SegmentPlan:
     order = np.argsort(rows, kind="stable")
     sorted_rows = rows[order]
     starts = np.concatenate(([0], np.nonzero(np.diff(sorted_rows))[0] + 1))
+    ends = np.concatenate((starts[1:], [rows.size]))
     select: Optional[np.ndarray] = None
     if rows.size * n_dst <= _SELECT_DENSE_MAX:
         select = np.zeros((n_dst, rows.size))
         select[rows, np.arange(rows.size)] = 1.0
-    return _SegmentPlan(order, starts, sorted_rows[starts], int(n_dst), select)
+    return _SegmentPlan(order, starts, ends, sorted_rows[starts], int(n_dst), select)
 
 
 @dataclass(frozen=True)
@@ -154,14 +162,37 @@ class _Level:
 
 
 @dataclass(frozen=True)
+class _PrefixForest:
+    """Global prefix-product forest shared by every block of one ``nu``.
+
+    The distinct (canonicalized) factor tuples of *all* ``(nu, L)`` blocks
+    with the same ``nu`` are pooled into one sorted tuple set; the
+    ``levels`` chain then builds each pooled tuple product exactly once
+    per forward pass, and every block of that ``nu`` reduces the shared
+    products through its own coefficient matrix ``V``.  Blocks of the
+    same ``nu`` overlap heavily in tuples (they differ only in the output
+    degree ``L`` their coefficients couple to), so pooling removes the
+    duplicate chain work the per-block plans used to repeat — and in
+    backward the whole forest is walked down once, on the *sum* of the
+    per-block tuple gradients.
+    """
+
+    nu: int
+    levels: Tuple["_Level", ...]  # prefix-product chain (depths 2..nu)
+    tuple_cols: np.ndarray  # (n_tup,) A-columns of the depth-1 prefixes
+    n_tuples: int  # pooled distinct tuples across the nu's blocks
+
+
+@dataclass(frozen=True)
 class _BlockTable:
     """Entry table of one ``(nu, L)`` pair, pre-packed for the fused kernel.
 
     Beyond the raw COO entry arrays, the shared-prefix evaluation plan is
     precomputed (the software analogue of the shared-memory staging +
-    warp-level reduction in Listing 1): the ``levels`` chain builds each
-    distinct factor-tuple product exactly once, ``V`` reduces tuple
-    products onto ``(pattern, M)`` slots with one GEMM, and each level's
+    warp-level reduction in Listing 1): the ``forest`` chain — shared by
+    all blocks of the same ``nu`` — builds each distinct factor-tuple
+    product exactly once, ``V`` reduces the forest's tuple products onto
+    this block's ``(pattern, M)`` slots with one GEMM, and each level's
     :class:`_SegmentPlan` routes gradients back down the chain as segment
     sums instead of dense one-hot GEMMs.
     """
@@ -173,9 +204,16 @@ class _BlockTable:
     M_idx: np.ndarray  # (nnz,)
     path_idx: np.ndarray  # (nnz,)
     values: np.ndarray  # (nnz,)
-    levels: Tuple["_Level", ...]  # prefix-product chain (depths 2..nu)
-    tuple_cols: np.ndarray  # (n_tup,) A-columns of the depth-1 prefixes
+    forest: _PrefixForest  # shared prefix chain of this block's nu
     V: np.ndarray  # (n_tup, n_paths * (2L+1)) coefficient reduction matrix
+
+    @property
+    def levels(self) -> Tuple["_Level", ...]:
+        return self.forest.levels
+
+    @property
+    def tuple_cols(self) -> np.ndarray:
+        return self.forest.tuple_cols
 
     @property
     def nnz(self) -> int:
@@ -183,7 +221,7 @@ class _BlockTable:
 
     @property
     def n_tuples(self) -> int:
-        """Distinct factor index tuples (shared-product reuse count)."""
+        """Distinct factor tuples of the shared forest (reuse count)."""
         return int(self.V.shape[0])
 
 
@@ -195,6 +233,7 @@ class SymContractionSpec:
     nu_max: int
     L_max: int
     blocks: Tuple[_BlockTable, ...]
+    forests: Tuple[_PrefixForest, ...]
 
     @property
     def out_dim(self) -> int:
@@ -219,40 +258,18 @@ class SymContractionSpec:
         return total
 
 
-def _build_prefix_plan(
-    factor_idx: np.ndarray,
-    path_idx: np.ndarray,
-    M_idx: np.ndarray,
-    values: np.ndarray,
-    n_paths: int,
-    L: int,
-    dim: int,
-):
-    """Shared-prefix evaluation plan of one ``(nu, L)`` block.
+def _build_forest(nu: int, tuples: np.ndarray, dim: int) -> _PrefixForest:
+    """Prefix-product chain over one ``nu``'s pooled (sorted) tuple set.
 
     Distinct factor tuples are evaluated once (many generalized-CG entries
     share the same product of features, differing only in coefficient,
-    output component or pattern), built up through a chain of unique
-    prefix products.  The coefficient matrix ``V`` then reduces tuple
-    products onto ``(pattern, M)`` slots with a single GEMM.
+    output component, pattern or target degree ``L``), built up through a
+    chain of unique prefix products.
 
     This mirrors the CUDA kernel's strategy (Listing 1): stage reusable
     partial products in fast memory, then reduce with warp-level
     primitives.
     """
-    nnz, nu = factor_idx.shape
-    # The factor product is invariant under permutation of the factors —
-    # this *is* a symmetric tensor contraction — so tuples are canonicalized
-    # (sorted) first, collapsing permuted duplicates into one shared product
-    # whose coefficients simply sum inside V.
-    factor_idx = np.sort(factor_idx, axis=1)
-    tuples, tup_map = np.unique(factor_idx, axis=0, return_inverse=True)
-    n_tup = tuples.shape[0]
-    V = np.zeros((n_tup, n_paths * (2 * L + 1)))
-    # One-time coupling-table construction (cached per (lmax, nu, L)),
-    # sized by CG nonzeros — not a per-atom hot path.
-    np.add.at(V, (tup_map, path_idx * (2 * L + 1) + M_idx), values)  # lint: allow-hot-loop-scatter
-
     levels = []
     # Depth-1 "products" are raw feature columns.
     prev_uniq = np.unique(tuples[:, :1], axis=0)
@@ -278,47 +295,69 @@ def _build_prefix_plan(
             )
         )
         prev_lookup = {tuple(row): i for i, row in enumerate(uniq)}
-
-    if nu == 1:
-        tuple_cols = tuples[:, 0].astype(np.int64)
-    else:
-        # After the last level, products are ordered like `tuples` rows;
-        # entries map into them via tup_map (folded into V above).
-        tuple_cols = tuples[:, 0].astype(np.int64)
-    return tuple(levels), tuple_cols, np.ascontiguousarray(V)
+    # After the last level, products are ordered like `tuples` rows; the
+    # per-block V matrices map into them.  tuple_cols drives the nu == 1
+    # direct gather (and records the depth-1 columns for the benchmarks).
+    tuple_cols = tuples[:, 0].astype(np.int64)
+    return _PrefixForest(nu, tuple(levels), tuple_cols, int(tuples.shape[0]))
 
 
 @lru_cache(maxsize=None)
 def sym_contraction_spec(lmax: int, nu_max: int, L_max: int) -> SymContractionSpec:
-    """Build (and cache) the fused entry tables from the coupling table."""
+    """Build (and cache) the fused entry tables from the coupling table.
+
+    Blocks of the same correlation order ``nu`` pool their factor tuples
+    into one global :class:`_PrefixForest` (the products differ only in
+    which coefficients consume them), so the fused kernel runs each
+    ``nu``'s prefix chain once per forward instead of once per ``L``.
+    """
     table = coupling_table(lmax, nu_max, L_max)
+    dim = sh_dim(lmax)
     blocks: List[_BlockTable] = []
+    forests: List[_PrefixForest] = []
     for nu in range(1, nu_max + 1):
+        entries = []
         for L in range(L_max + 1):
             ent = table.entries[(nu, L)]
-            n_paths = table.num_paths(nu, L)
             if ent["values"].size == 0:
                 continue
-            M = ent["M_idx"]
-            levels, tuple_cols, V = _build_prefix_plan(
-                ent["factor_idx"], ent["path_idx"], M, ent["values"],
-                n_paths, L, sh_dim(lmax),
-            )
+            entries.append((L, ent, table.num_paths(nu, L)))
+        if not entries:
+            continue
+        # The factor product is invariant under permutation of the factors —
+        # this *is* a symmetric tensor contraction — so tuples are
+        # canonicalized (sorted) first, collapsing permuted duplicates into
+        # one shared product whose coefficients simply sum inside V; then
+        # the canonical tuples of every L of this nu are pooled.
+        sorted_idx = [np.sort(ent["factor_idx"], axis=1) for (_, ent, _) in entries]
+        tuples, tup_map = np.unique(
+            np.vstack(sorted_idx), axis=0, return_inverse=True
+        )
+        forest = _build_forest(nu, tuples, dim)
+        forests.append(forest)
+        offset = 0
+        for (L, ent, n_paths), fidx in zip(entries, sorted_idx):
+            block_map = tup_map[offset : offset + fidx.shape[0]]
+            offset += fidx.shape[0]
+            V = np.zeros((forest.n_tuples, n_paths * (2 * L + 1)))
+            # One-time coupling-table construction (cached per
+            # (lmax, nu_max, L_max)), sized by CG nonzeros — not a
+            # per-atom hot path.
+            np.add.at(V, (block_map, ent["path_idx"] * (2 * L + 1) + ent["M_idx"]), ent["values"])  # lint: allow-hot-loop-scatter
             blocks.append(
                 _BlockTable(
                     nu,
                     L,
                     n_paths,
                     ent["factor_idx"],
-                    M,
+                    ent["M_idx"],
                     ent["path_idx"],
                     ent["values"],
-                    levels,
-                    tuple_cols,
-                    V,
+                    forest,
+                    np.ascontiguousarray(V),
                 )
             )
-    return SymContractionSpec(lmax, nu_max, L_max, tuple(blocks))
+    return SymContractionSpec(lmax, nu_max, L_max, tuple(blocks), tuple(forests))
 
 
 def weight_layout(spec: SymContractionSpec) -> List[Tuple[int, int, int]]:
@@ -462,7 +501,9 @@ class _SymContractionOptimized(Function):
     :class:`_SegmentPlan` index plans (see the module docstring).
     """
 
-    def forward(self, A, *weights, species: np.ndarray, spec: SymContractionSpec):
+    supports_out = True  # (N, K, out_dim) accumulator: out may not alias A
+
+    def forward(self, A, *weights, species: np.ndarray, spec: SymContractionSpec, out=None):
         _check_inputs(A, species, weights, spec)
         N, K = A.shape[0], A.shape[1]
         NK = N * K
@@ -471,22 +512,29 @@ class _SymContractionOptimized(Function):
         # a row-segment reduction — the NumPy analogue of Listing 1's
         # one-block-per-atom layout with warps over coupling structure.
         A2T = np.ascontiguousarray(A.reshape(NK, A.shape[2]).T)  # (dim, NK)
-        out = np.zeros((N, K, spec.out_dim), dtype=np.float64)
-        saved_taken = []
+        if out is None:
+            out = np.zeros((N, K, spec.out_dim), dtype=np.float64)
+        else:
+            out.fill(0.0)
+        # Shared-prefix product forest: each distinct factor tuple of a
+        # correlation order nu is evaluated exactly once — across *all*
+        # (nu, L) blocks (Listing 1's shared-memory reuse, pooled over L).
+        # The level products are kept for backward, which re-gathers
+        # operands with cheap contiguous row copies (saving both gathered
+        # operands instead would double the pinned memory).
+        forest_products = {}
+        for forest in spec.forests:
+            products = []
+            prev = A2T
+            for level in forest.levels:
+                prev = prev[level.prev_map] * A2T[level.new_col]
+                products.append(prev)
+            prodT = prev if forest.levels else A2T[forest.tuple_cols]
+            forest_products[forest.nu] = (products, prodT)
         saved_G = []
         for w, block in zip(weights, spec.blocks):
             P, M = block.n_paths, 2 * block.L + 1
-            # Shared-prefix product chain: each distinct factor tuple is
-            # evaluated exactly once (Listing 1's shared-memory reuse).
-            # The level products are kept for backward, which re-gathers
-            # operands with cheap contiguous row copies (saving both
-            # gathered operands instead would double the pinned memory).
-            products = []
-            prev = A2T
-            for level in block.levels:
-                prev = prev[level.prev_map] * A2T[level.new_col]
-                products.append(prev)
-            prodT = prev if block.levels else A2T[block.tuple_cols]
+            prodT = forest_products[block.nu][1]
             # One GEMM folds coefficients and reduces tuples -> (eta, M).
             G_T = (block.V.T @ prodT).reshape(P, M, NK)
             wselT = np.ascontiguousarray(w[species].reshape(NK, P).T)
@@ -499,7 +547,6 @@ class _SymContractionOptimized(Function):
                 blk = np.einsum("pn,pmn->mn", wselT, G_T, optimize=True)
             base = block.L * block.L
             out[:, :, base : base + M] += blk.reshape(M, N, K).transpose(1, 2, 0)
-            saved_taken.append(products)
             saved_G.append((G_T, wselT))
             record_kernel(
                 "sc_fused",
@@ -512,11 +559,11 @@ class _SymContractionOptimized(Function):
                     + N * K * (2 * block.L + 1)
                 ),
             )
-        self.saved = (A, species, weights, spec, A2T, saved_taken, saved_G)
+        self.saved = (A, species, weights, spec, A2T, forest_products, saved_G)
         return out
 
     def backward(self, grad):
-        A, species, weights, spec, A2T, saved_taken, saved_G = self.saved
+        A, species, weights, spec, A2T, forest_products, saved_G = self.saved
         N, K = A.shape[0], A.shape[1]
         NK = N * K
         mask = self.grad_mask or (True,) * (1 + len(weights))
@@ -534,9 +581,9 @@ class _SymContractionOptimized(Function):
         if any(mask[1:]):
             sp_select = np.zeros((n_species, N))
             sp_select[species, np.arange(N)] = 1.0
+        g_forest = {forest.nu: None for forest in spec.forests}
         for w_i, (w, block) in enumerate(zip(weights, spec.blocks)):
             P, M = block.n_paths, 2 * block.L + 1
-            products = saved_taken[w_i]
             G_T, wselT = saved_G[w_i]
             base = block.L * block.L
             g_blockT = np.ascontiguousarray(
@@ -555,24 +602,33 @@ class _SymContractionOptimized(Function):
             if not need_a:
                 continue
             # d(prodT): expand (eta, M) grads through the V GEMM, reusing
-            # the species-gathered weights saved by forward.
+            # the species-gathered weights saved by forward; blocks of the
+            # same nu accumulate onto one shared tuple gradient.
             gG_T = (wselT[:, None, :] * g_blockT[None, :, :]).reshape(P * M, NK)
-            g_cur = block.V @ gG_T  # (n_tuples, NK)
-            # Walk the prefix chain backwards (product rule per level);
-            # operand re-gathers are contiguous row copies off the saved
-            # products, and each scatter is a segment reduction over the
-            # level's precomputed plan.
-            for d in range(len(block.levels) - 1, -1, -1):
-                level = block.levels[d]
-                prev = A2T if d == 0 else products[d - 1]
-                level.new_plan.scatter_add(gA2T, g_cur * prev[level.prev_map])
-                g_cur = level.prev_plan.scatter(g_cur * A2T[level.new_col])
-            if block.levels:
-                gA2T += g_cur  # depth-1 grads land on raw feature rows
-            else:
-                # nu == 1: products were direct gathers of the (unique,
-                # sorted) tuple rows.
-                gA2T[block.tuple_cols] += g_cur
+            contrib = block.V @ gG_T  # (n_tuples, NK)
+            prior = g_forest[block.nu]
+            g_forest[block.nu] = contrib if prior is None else prior + contrib
+        if need_a:
+            # Walk each nu's prefix chain backwards ONCE on the summed
+            # tuple gradients (product rule per level); operand re-gathers
+            # are contiguous row copies off the saved products, and each
+            # scatter is a segment reduction over the level's plan.
+            for forest in spec.forests:
+                g_cur = g_forest[forest.nu]
+                if g_cur is None:
+                    continue
+                products = forest_products[forest.nu][0]
+                for d in range(len(forest.levels) - 1, -1, -1):
+                    level = forest.levels[d]
+                    prev = A2T if d == 0 else products[d - 1]
+                    level.new_plan.scatter_add(gA2T, g_cur * prev[level.prev_map])
+                    g_cur = level.prev_plan.scatter(g_cur * A2T[level.new_col])
+                if forest.levels:
+                    gA2T += g_cur  # depth-1 grads land on raw feature rows
+                else:
+                    # nu == 1: products were direct gathers of the (unique,
+                    # sorted) tuple rows.
+                    gA2T[forest.tuple_cols] += g_cur
         return (gA2T.T.reshape(A.shape) if need_a else None, *gws)
 
 

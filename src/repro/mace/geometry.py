@@ -4,12 +4,12 @@ These ops bridge atom positions (autograd tensors) to the equivariant
 features MACE consumes, keeping the energy differentiable with respect to
 positions so forces ``F = -dE/dr`` are available at inference.
 
-The spherical-harmonics backward uses a central finite-difference Jacobian
-with respect to the input vectors (6 extra forward evaluations).  This is a
-documented substitution for the closed-form polynomial gradients the CUDA
-implementation uses: it is accurate to ~1e-7 and only runs when gradients
-with respect to *positions* are requested (force evaluation), never in the
-weight-training hot path.
+The spherical-harmonics backward uses the closed-form polynomial gradients
+(:func:`~repro.equivariant.spherical_harmonics.spherical_harmonics_backward`),
+matching the analytic path the CUDA implementation takes: ``Y_l^m`` is
+differentiated through its pole-safe ``Q_l^m(z) (C_m, S_m)(x, y)``
+factorization, so forces cost one extra recursion pass instead of the six
+finite-difference forward evaluations an FD Jacobian would need.
 """
 
 from __future__ import annotations
@@ -18,9 +18,18 @@ import numpy as np
 
 from ..autograd.engine import Function, Tensor
 from ..autograd.ops import gather_rows
-from ..equivariant.spherical_harmonics import sh_dim, spherical_harmonics
+from ..equivariant.spherical_harmonics import (
+    sh_dim,
+    spherical_harmonics,
+    spherical_harmonics_backward,
+)
 
-__all__ = ["edge_vectors", "edge_lengths", "edge_spherical_harmonics"]
+__all__ = [
+    "edge_vectors",
+    "edge_lengths",
+    "edge_spherical_harmonics",
+    "within_cutoff",
+]
 
 
 def edge_vectors(positions: Tensor, edge_index: np.ndarray, edge_shift: np.ndarray) -> Tensor:
@@ -34,8 +43,11 @@ def edge_vectors(positions: Tensor, edge_index: np.ndarray, edge_shift: np.ndarr
 class _EdgeNorm(Function):
     """Euclidean norm per row, with the analytic gradient ``v / |v|``."""
 
-    def forward(self, vec):
-        r = np.linalg.norm(vec, axis=1)
+    supports_out = True  # (E, 3) -> (E,): out never aliases vec
+
+    def forward(self, vec, out=None):
+        # sqrt(sum(v * v)) is bitwise np.linalg.norm(vec, axis=1).
+        r = np.sqrt(np.sum(vec * vec, axis=1), out=out)
         self.saved = (vec, r)
         return r
 
@@ -53,31 +65,52 @@ def edge_lengths(vec: Tensor) -> Tensor:
 class _SphericalHarmonicsOp(Function):
     """Real spherical harmonics of (normalized) edge vectors.
 
-    Backward: central-difference Jacobian wrt the raw vectors (see module
-    docstring), evaluated as ONE batched spherical-harmonics call over all
-    six (+/- eps per Cartesian axis) perturbed copies rather than six
-    separate passes.  ``normalization='component'`` matches MACE/e3nn.
+    Backward: exact closed-form gradient via the pole-safe polynomial
+    factorization (see
+    :func:`~repro.equivariant.spherical_harmonics.spherical_harmonics_backward`).
+    ``normalization='component'`` matches MACE/e3nn.
     """
 
-    EPS = 1e-5
+    supports_out = True  # (E, 3) -> (E, sh_dim): shapes can never alias
 
-    def forward(self, vec, lmax: int):
+    def forward(self, vec, lmax: int, out=None):
         self.saved = (vec, lmax)
-        return spherical_harmonics(lmax, vec, normalization="component")
+        return spherical_harmonics(lmax, vec, normalization="component", out=out)
 
     def backward(self, grad):
         vec, lmax = self.saved
-        eps = self.EPS
-        offsets = eps * np.eye(3)  # (3, 3), one row per perturbed axis
-        stacked = np.concatenate(
-            [vec[None, :, :] + offsets[:, None, :], vec[None, :, :] - offsets[:, None, :]]
-        )  # (6, E, 3)
-        sh = spherical_harmonics(lmax, stacked, normalization="component")
-        jac = (sh[:3] - sh[3:]) / (2.0 * eps)  # (3, E, sh_dim)
-        gvec = np.einsum("em,dem->ed", grad, jac)
+        gvec = spherical_harmonics_backward(lmax, vec, grad, normalization="component")
         return (gvec,)
 
 
 def edge_spherical_harmonics(vec: Tensor, lmax: int) -> Tensor:
     """``(E, (lmax+1)^2)`` component-normalized real spherical harmonics."""
     return _SphericalHarmonicsOp.apply(vec, lmax=lmax)
+
+
+class _WithinCutoff(Function):
+    """Indicator ``1.0 where r <= cutoff else 0.0`` per edge.
+
+    The padded-MD path evaluates on a candidate edge superset (Verlet
+    candidates plus ghost padding) and multiplies each edge's radial
+    weights by this mask, so out-of-cutoff edges contribute exactly
+    zero.  The indicator is piecewise constant in ``r``: its derivative
+    is zero almost everywhere, so backward propagates no gradient (the
+    model's energy is already discontinuous at edge-set changes).
+    """
+
+    supports_out = True  # (E,) -> (E,): elementwise, out never aliases r
+
+    def forward(self, r, cutoff: float, out=None):
+        if out is None:
+            out = np.empty(r.shape, dtype=r.dtype)
+        np.less_equal(r, cutoff, out=out)
+        return out
+
+    def backward(self, grad):
+        return (None,)
+
+
+def within_cutoff(r: Tensor, cutoff: float) -> Tensor:
+    """``(E,)`` float indicator of edges within the interaction cutoff."""
+    return _WithinCutoff.apply(r, cutoff=cutoff)

@@ -41,7 +41,12 @@ from ..kernels import (
 )
 from ..nn import MLP, Embedding, EquivariantLinear, Linear, Module, Parameter
 from .config import MACEConfig
-from .geometry import edge_lengths, edge_spherical_harmonics, edge_vectors
+from .geometry import (
+    edge_lengths,
+    edge_spherical_harmonics,
+    edge_vectors,
+    within_cutoff,
+)
 from .radial import RadialNetwork
 
 __all__ = ["MACE", "InteractionLayer"]
@@ -88,11 +93,16 @@ class InteractionLayer(Module):
         r: Tensor,
         edge_index: np.ndarray,
         species_idx: np.ndarray,
+        edge_mask: Optional[Tensor] = None,
     ) -> Tensor:
         cfg = self.cfg
         send, recv = edge_index
         n_atoms = h.shape[0]
         R = self.radial(r)  # (E, K, n_paths)
+        if edge_mask is not None:
+            # Padded-MD path: zero the radial weights of out-of-cutoff
+            # (candidate/ghost) edges so they contribute exactly nothing.
+            R = R * edge_mask
         h_j = gather_rows(h, send)  # sender features on edges
         if cfg.kernel_variant == "optimized":
             A_edge = channelwise_tp_optimized(Y, h_j, R, self.tp_table)
@@ -168,6 +178,16 @@ class MACE(Module):
         vec = edge_vectors(positions, batch.edge_index, batch.edge_shift)
         r = edge_lengths(vec)
         Y = edge_spherical_harmonics(vec, cfg.lmax_sh)
+        edge_mask = None
+        masked_cutoff = getattr(batch, "masked_cutoff", None)
+        if masked_cutoff is not None:
+            # The batch carries a candidate edge superset (Verlet skin +
+            # ghost padding); mask each interaction's radial weights so
+            # only the within-cutoff edges contribute.  The mask is part
+            # of the recorded graph: plan replays recompute it from the
+            # current positions, tracking edges that cross the cutoff.
+            mask = within_cutoff(r, masked_cutoff)
+            edge_mask = mask.reshape((batch.n_edges, 1, 1))
 
         # Embedding: degree-0 block carries the species embedding.
         h0 = self.embedding(species_idx)  # (N, K)
@@ -180,7 +200,9 @@ class MACE(Module):
 
         site_energy = gather_rows(self.species_energy, species_idx)  # (N,)
         for t in range(cfg.n_layers):
-            h = getattr(self, f"layer{t}")(h, Y, r, batch.edge_index, species_idx)
+            h = getattr(self, f"layer{t}")(
+                h, Y, r, batch.edge_index, species_idx, edge_mask=edge_mask
+            )
             invariant = h[:, :, 0]  # (N, K) degree-0 part
             if t < cfg.n_layers - 1:
                 contrib = getattr(self, f"readout{t}")(invariant)

@@ -35,9 +35,11 @@ class _BesselBasis(Function):
     Analytic backward with the r -> 0 limit handled (sin(ar)/r -> a).
     """
 
-    def forward(self, r, n_basis: int, cutoff: float):
+    supports_out = True  # (E,) -> (E, n_basis): out never aliases r
+
+    def forward(self, r, n_basis: int, cutoff: float, out=None):
         self.saved = (r, n_basis, cutoff)
-        return _bessel_forward(r, n_basis, cutoff)
+        return _bessel_forward(r, n_basis, cutoff, out=out)
 
     def backward(self, grad):
         r, n_basis, cutoff = self.saved
@@ -58,14 +60,18 @@ class _BesselBasis(Function):
         return (np.einsum("en,en->e", grad, db),)
 
 
-def _bessel_forward(r: np.ndarray, n_basis: int, cutoff: float) -> np.ndarray:
+def _bessel_forward(
+    r: np.ndarray, n_basis: int, cutoff: float, out: np.ndarray = None
+) -> np.ndarray:
     n = np.arange(1, n_basis + 1)[None, :]
     a = n * math.pi / cutoff
     rr = r[:, None]
     safe = np.where(rr > 1e-9, rr, 1.0)
     sin_term = np.where(rr > 1e-9, np.sin(a * rr) / safe, a)
     env = polynomial_cutoff(r, cutoff)[:, None]
-    return math.sqrt(2.0 / cutoff) * sin_term * env
+    out = np.multiply(sin_term, env, out=out)
+    out *= math.sqrt(2.0 / cutoff)
+    return out
 
 
 def bessel_basis(r: Tensor, n_basis: int, cutoff: float) -> Tensor:

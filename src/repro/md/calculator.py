@@ -25,6 +25,10 @@ from ..graphs.molecular_graph import MolecularGraph
 from ..graphs.pipeline import DEFAULT_SKIN, NeighborListCache
 from ..runtime import resolve_plan_cache
 
+# Padded-MD edge capacities are rounded up to a multiple of this, so the
+# shape buckets a trajectory visits stay few and recurring.
+EDGE_BUCKET = 32
+
 __all__ = ["MACECalculator", "ReferenceCalculator"]
 
 
@@ -54,6 +58,23 @@ class MACECalculator:
         Verlet rebuild changes the edge set (a new shape bucket) and to
         plain eager on any replay-guard rejection.  Pass ``None`` to
         always run eagerly, or an existing cache to share it.
+    pad_edges:
+        Pad MD batches to capacity buckets so plan hit rates survive
+        neighbor-list refilters.  The batch carries the Verlet
+        *candidate* edge set (fixed between rebuilds) padded with ghost
+        self-edges up to a grow-only multiple of ``EDGE_BUCKET``; the
+        model masks out-of-cutoff edges so results match the exact edge
+        set, while the plan-cache key stays constant between rebuilds
+        instead of changing whenever an edge crosses the cutoff.  The
+        default ``"auto"`` enables this exactly when the calculator owns
+        both a neighbor list and a plan cache (the regime where it
+        pays); ``True`` additionally requires ``cutoff``.
+
+    Attributes
+    ----------
+    edge_capacity:
+        Current (grow-only) padded edge capacity; 0 until the first
+        padded evaluation.
     """
 
     def __init__(
@@ -62,23 +83,78 @@ class MACECalculator:
         cutoff: Optional[float] = None,
         skin: float = DEFAULT_SKIN,
         compiled="auto",
+        pad_edges="auto",
     ) -> None:
         self.model = model
         self.neighbor_cache = (
             NeighborListCache(cutoff, skin) if cutoff is not None else None
         )
         self.plan_cache = resolve_plan_cache(compiled)
+        if pad_edges == "auto":
+            pad_edges = (
+                self.neighbor_cache is not None and self.plan_cache is not None
+            )
+        elif pad_edges and self.neighbor_cache is None:
+            raise ValueError(
+                "pad_edges needs the calculator-owned neighbor list; pass cutoff"
+            )
+        self.pad_edges = bool(pad_edges)
+        self.edge_capacity = 0
+        self._pad_build = -1  # neighbor_cache.rebuilds the padding was built at
+        self._padded_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def energy_and_forces(self, graph: MolecularGraph) -> Tuple[float, np.ndarray]:
         if self.neighbor_cache is not None:
             self.neighbor_cache.update(graph)
         elif not graph.has_edges:
             raise ValueError("graph needs a neighbor list")
-        batch = collate([graph])
+        if self.pad_edges:
+            batch = self._padded_batch(graph)
+        else:
+            batch = collate([graph])
         energies, forces = self.model.energy_and_forces(
             batch, compiled=self.plan_cache
         )
         return float(energies[0]), forces
+
+    def _padded_batch(self, graph: MolecularGraph):
+        """Collate ``graph`` on its padded candidate edge set.
+
+        The padded arrays are rebuilt only when the Verlet cache
+        rebuilds its candidate list; between rebuilds every step sees
+        bit-identical edge arrays, so force-plan signatures repeat and
+        replays hit.  Ghost edges are self-edges on atom 0 displaced by
+        ``2 * cutoff`` — beyond the cutoff, so the model's within-cutoff
+        mask zeroes their contribution exactly.
+        """
+        cache = self.neighbor_cache
+        if self._pad_build != cache.rebuilds:
+            cand_index, cand_shift = cache.candidate_edges()
+            n_cand = cand_index.shape[1]
+            want = -(-max(n_cand, 1) // EDGE_BUCKET) * EDGE_BUCKET
+            self.edge_capacity = max(self.edge_capacity, want)
+            pad = self.edge_capacity - n_cand
+            ghost_index = np.zeros((2, pad), dtype=cand_index.dtype)
+            ghost_shift = np.zeros((pad, 3))
+            ghost_shift[:, 0] = 2.0 * cache.cutoff
+            self._padded_arrays = (
+                np.concatenate([cand_index, ghost_index], axis=1),
+                np.concatenate([cand_shift, ghost_shift], axis=0),
+            )
+            self._pad_build = cache.rebuilds
+        edge_index, edge_shift = self._padded_arrays
+        padded = MolecularGraph(
+            graph.positions,
+            graph.species,
+            cell=graph.cell,
+            pbc=graph.pbc,
+            edge_index=edge_index,
+            edge_shift=edge_shift,
+            system=graph.system,
+        )
+        batch = collate([padded])
+        batch.masked_cutoff = cache.cutoff
+        return batch
 
 
 class ReferenceCalculator:

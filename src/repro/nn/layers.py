@@ -59,11 +59,14 @@ class _ChannelMix(Function):
         # several times faster at both small and saturated sizes).
         return np.swapaxes(np.swapaxes(block, -2, -1) @ weight, -2, -1)
 
-    def forward(self, x, *weights, lmax: int):
+    supports_out = True  # per-degree GEMMs: out may not alias x
+
+    def forward(self, x, *weights, lmax: int, out=None):
         self.saved = (x, weights, lmax)
         # x has layout (..., K_in, (lmax+1)^2); each degree block is x[..., :, sl].
         k_out = weights[0].shape[1]
-        out = np.empty(x.shape[:-2] + (k_out, x.shape[-1]), dtype=np.float64)
+        if out is None:
+            out = np.empty(x.shape[:-2] + (k_out, x.shape[-1]), dtype=np.float64)
         for l in range(lmax + 1):
             sl = sh_block_slice(l)
             out[..., sl] = self._mix(x[..., sl], weights[l])

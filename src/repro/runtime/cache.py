@@ -80,6 +80,12 @@ def batch_signature(
     _update(h, batch.edge_index)
     _update(h, batch.edge_shift)
     h.update(str(batch.positions.dtype).encode())
+    masked = getattr(batch, "masked_cutoff", None)
+    if masked is not None:
+        # Padded batches record a masked graph; never share a plan with
+        # an (improbably) identical exact-edge batch, nor across mask radii.
+        h.update(b"masked")
+        h.update(np.float64(masked).tobytes())
     if include_positions:
         _update(h, batch.positions)
     if include_labels:

@@ -27,6 +27,26 @@ separates graph *capture* from graph *execution*:
   and dtypes still match the capture (:class:`PlanStale` on mismatch —
   callers fall back to eager).
 
+With ``optimize=True`` (the default) two more compiler passes run after
+DCE and constant folding, turning 1:1 replay into genuinely *compiled*
+execution:
+
+* **Elementwise chain fusion** — maximal single-consumer chains of
+  elementwise/reduction ops collapse into one
+  :class:`_FusedElementwise` instruction whose interior temporaries live
+  in private, compile-time-allocated scratch and never appear as plan
+  slots (``n_fused_away`` counts the eliminated instructions).
+* **Arena memory planning** — the liveness/donation analysis of
+  :mod:`repro.analysis.liveness` drives the ``out=`` protocol of
+  :class:`~repro.autograd.engine.Function`: each ``supports_out``
+  instruction either *donates* a dead operand's buffer (alias-safe ops
+  only) or writes into a preallocated arena buffer recycled across dead
+  slots, so steady-state replay performs near-zero array allocation
+  (``n_alloc_instrs`` counts the residual fresh allocations; plan
+  *outputs* are always freshly allocated so callers may keep them).
+  The fusion and donation trail is recorded in :class:`PlanMeta` and
+  re-checked statically by :func:`repro.analysis.verify_plan`.
+
 Contract
 --------
 Replay runs the *identical* ``forward`` methods in the identical order
@@ -55,7 +75,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..autograd import engine as _engine
-from ..autograd.engine import Tensor
+from ..autograd.engine import Function, Tensor, _is_basic_index
+from ..utils.alloc import colored_empty
 
 __all__ = ["PlanStale", "PlanMeta", "TapeRecorder", "record_tape", "CompiledPlan"]
 
@@ -118,24 +139,50 @@ class PlanMeta:
     re-running capture: per-slot shapes/dtypes of every value (including
     folded constants and DCE'd intermediates), slot kinds, which slots
     the constant folder reclassified, and an audit trail of every
-    instruction dropped by dead-node elimination or folding.
+    instruction dropped by dead-node elimination or folding, every chain
+    collapsed by fusion and every buffer donation the arena planner
+    consumed.
     """
 
-    __slots__ = ("slot_shapes", "slot_dtypes", "kinds", "const", "dropped", "folded")
+    __slots__ = (
+        "slot_shapes",
+        "slot_dtypes",
+        "kinds",
+        "const",
+        "dropped",
+        "folded",
+        "fused",
+        "donated",
+    )
 
-    def __init__(self, slot_shapes, slot_dtypes, kinds, const, dropped, folded):
+    def __init__(
+        self, slot_shapes, slot_dtypes, kinds, const, dropped, folded,
+        fused=(), donated=(),
+    ):
         self.slot_shapes = slot_shapes  # tuple[shape] per slot
         self.slot_dtypes = slot_dtypes  # tuple[np.dtype] per slot
         self.kinds = kinds  # tuple['const'|'input'|'param'|'node']
         self.const = const  # tuple[bool]: const after folding
         self.dropped = dropped  # ((op_name, out_slot, tensor_slots), ...)
         self.folded = folded  # ((op_name, out_slot, tensor_slots), ...)
+        self.fused = fused  # ((member_ops, out_slot, interior_slots), ...)
+        self.donated = donated  # ((index, op_name, donor_slot, out_slot), ...)
 
 
 class _ForwardInstr:
     """One replayable forward call with compile-time-resolved inputs."""
 
-    __slots__ = ("fn", "call", "args", "bindings", "kwargs", "out_slot", "tensor_slots")
+    __slots__ = (
+        "fn",
+        "call",
+        "args",
+        "bindings",
+        "kwargs",
+        "out_slot",
+        "tensor_slots",
+        "out_buffer",
+        "donor_slot",
+    )
 
     def __init__(self, fn, args, bindings, kwargs, out_slot, tensor_slots):
         self.fn = fn
@@ -151,6 +198,11 @@ class _ForwardInstr:
         self.kwargs = kwargs
         self.out_slot = out_slot
         self.tensor_slots = tensor_slots  # slots in Tensor-argument order
+        # Filled by the arena planner (optimize=True): a preallocated
+        # static buffer the forward writes into, or the slot whose
+        # (dead) replay buffer the write may reuse.  Mutually exclusive.
+        self.out_buffer: Optional[np.ndarray] = None
+        self.donor_slot: Optional[int] = None
 
 
 class _BackwardInstr:
@@ -165,6 +217,233 @@ class _BackwardInstr:
         # grad_index indexes fn.backward's return tuple (Tensor-argument
         # order, matching the eager engine's zip over fn.inputs).
         self.targets = targets
+
+
+# Ops the chain fuser may absorb.  Every entry implements the ``out=``
+# protocol, so fused chains stream through preallocated scratch without
+# allocating.  Reductions may sit anywhere in a chain (the member shapes
+# come from the capture), but a chain is only worth fusing when it
+# contains at least two elementwise members — a lone op feeding a
+# reduction eliminates no temporary and saves no dispatch.
+_FUSABLE_ELEMENTWISE = frozenset({
+    "Add", "Sub", "Mul", "Div", "Neg", "Pow", "Exp", "Log", "Sqrt",
+    "Tanh", "Sigmoid", "Clip", "SiLU", "ReLU", "Softplus",
+})
+_FUSABLE_REDUCTIONS = frozenset({"Sum", "Mean"})
+_FUSABLE = _FUSABLE_ELEMENTWISE | _FUSABLE_REDUCTIONS
+# Fusable members whose backward re-reads the forward's *output* array.
+_SAVES_OUT = frozenset({"Exp", "Sqrt", "Tanh", "Sigmoid"})
+
+
+class _FusedElementwise(Function):
+    """A single-consumer op chain executed as one fused instruction.
+
+    The fusion pass in :class:`CompiledPlan` collapses maximal chains of
+    elementwise/reduction ops in which every interior value has exactly
+    one consumer — the next chain member — into one instance of this
+    Function.  Members execute sequentially through *private* scratch
+    buffers preallocated at compile time, so interior temporaries are
+    never allocated (or even visible as slots) during replay; only the
+    final member writes the plan-provided ``out`` buffer.  Each member
+    runs its original ``forward`` on the same operand values in the same
+    order, so fused results stay bitwise equal to eager execution.
+
+    The backward walks the members in reverse, feeding each interior
+    gradient straight to its producer and accumulating gradients of the
+    chain's *external* operands, aligned with the fused instruction's
+    ``tensor_slots`` — exactly the contract :class:`_BackwardInstr`
+    expects.  ``out_alias_safe`` is inherited from the final member (the
+    only one that touches the plan-provided buffer), and the liveness
+    classification (``saved_arrays``) declares the external arrays the
+    member backwards re-read.
+    """
+
+    supports_out = True
+
+    def __init__(self, members, slot_arrays) -> None:
+        super().__init__()
+        self._members = list(members)
+        interior = {m.out_slot for m in self._members[:-1]}
+        ext: List[int] = []
+        for member in self._members:
+            for slot in member.tensor_slots:
+                if slot not in interior and slot not in ext:
+                    ext.append(slot)
+        self._ext_slots = tuple(ext)
+        self._ext_index = {slot: p for p, slot in enumerate(ext)}
+        self._interior = frozenset(interior)
+        # Private per-member scratch, reused across replays; the final
+        # member writes the arena-provided ``out`` instead.
+        self._scratch: List[Optional[np.ndarray]] = [
+            colored_empty(slot_arrays[m.out_slot].shape, slot_arrays[m.out_slot].dtype)
+            for m in self._members[:-1]
+        ]
+        self._scratch.append(None)
+        last = type(self._members[-1].fn)
+        self.out_alias_safe = last.out_alias_safe
+        # Members that save their inputs re-read external operand arrays
+        # at backward time; only the *final* member's saved output is a
+        # plan-visible buffer (interior saves point at private scratch).
+        self.saved_arrays = "inputs+out" if last.__name__ in _SAVES_OUT else "inputs"
+        self._grad_mask: Optional[tuple] = None
+        self._member_run: Tuple[bool, ...] = (True,) * len(self._members)
+
+    # The plan's backward builder assigns ``grad_mask`` per instruction;
+    # re-deriving per-member masks here lets each member's backward rule
+    # skip gradients nobody consumes (e.g. no dC arrays for folded
+    # constants), exactly as the unfused instructions would.
+    @property
+    def grad_mask(self):
+        return self._grad_mask
+
+    @grad_mask.setter
+    def grad_mask(self, mask) -> None:
+        self._grad_mask = mask
+        if mask is None:
+            self._member_run = (True,) * len(self._members)
+            for member in self._members:
+                member.fn.grad_mask = None
+            return
+        needed = {s for s, wanted in zip(self._ext_slots, mask) if wanted}
+        run: List[bool] = []
+        for member in self._members:
+            m_mask = tuple(s in needed for s in member.tensor_slots)
+            member.fn.grad_mask = m_mask
+            run.append(any(m_mask))
+            if run[-1]:
+                needed.add(member.out_slot)
+        self._member_run = tuple(run)
+
+    def forward(self, *ext, out=None):
+        local: Dict[int, np.ndarray] = {}
+        index = self._ext_index
+        result = None
+        for member, buf in zip(self._members, self._scratch):
+            args = member.args
+            for position, slot in member.bindings:
+                p = index.get(slot)
+                args[position] = ext[p] if p is not None else local[slot]
+            if buf is None:
+                buf = out  # final member; out=None falls through to eager
+            result = member.call(*args) if buf is None else member.call(*args, out=buf)
+            local[member.out_slot] = result
+        return result
+
+    def backward(self, grad):
+        gext: List[Optional[np.ndarray]] = [None] * len(self._ext_slots)
+        glocal: Dict[int, np.ndarray] = {self._members[-1].out_slot: grad}
+        index = self._ext_index
+        for member, run in zip(reversed(self._members), reversed(self._member_run)):
+            g = glocal.pop(member.out_slot, None)
+            if g is None or not run:
+                continue
+            in_grads = member.fn.backward(g)
+            for grad_index, slot in enumerate(member.tensor_slots):
+                ig = in_grads[grad_index]
+                if ig is None:
+                    continue
+                p = index.get(slot)
+                if p is None:
+                    current = glocal.get(slot)
+                    glocal[slot] = ig if current is None else current + ig
+                elif gext[p] is None:
+                    gext[p] = ig
+                else:
+                    gext[p] = gext[p] + ig
+        return tuple(gext)
+
+    def infer_spec(self, args, kwargs):
+        """Re-infer the chain's output spec member by member.
+
+        Bound-method hook consumed by ``repro.analysis.specs`` (instance
+        rules win over the class registry), so the plan verifier can
+        check fused instructions without unfusing them.
+        """
+        from ..analysis.specs import infer_output_spec  # lazy: analysis imports the model stack
+
+        local: Dict[int, object] = {}
+        index = self._ext_index
+        for member in self._members:
+            m_args = list(member.args)
+            for position, slot in member.bindings:
+                p = index.get(slot)
+                m_args[position] = args[p] if p is not None else local[slot]
+            local[member.out_slot] = infer_output_spec(member.fn, m_args, member.kwargs)
+        return local[self._members[-1].out_slot]
+
+
+def _fuse_elementwise_chains(forward, protected, slot_arrays):
+    """Collapse maximal single-consumer fusable chains into fused instrs.
+
+    ``protected`` slots (plan outputs, the backward seed) are never
+    internalized.  Returns ``(new_forward, trail, n_fused_away)`` where
+    ``trail`` records ``(member_ops, out_slot, interior_slots)`` per
+    fused chain for :class:`PlanMeta`.
+    """
+    uses: Dict[int, int] = {}
+    consumer: Dict[int, int] = {}
+    for j, instr in enumerate(forward):
+        for slot in instr.tensor_slots:
+            uses[slot] = uses.get(slot, 0) + 1
+            consumer[slot] = j
+    n = len(forward)
+    next_member: List[Optional[int]] = [None] * n
+    prev_member: List[Optional[int]] = [None] * n
+    for i, instr in enumerate(forward):
+        if type(instr.fn).__name__ not in _FUSABLE:
+            continue
+        out = instr.out_slot
+        if out in protected or uses.get(out) != 1:
+            continue
+        j = consumer[out]
+        if type(forward[j].fn).__name__ not in _FUSABLE or prev_member[j] is not None:
+            continue
+        next_member[i] = j
+        prev_member[j] = i
+
+    replaced: Dict[int, _ForwardInstr] = {}
+    dropped: set = set()
+    trail: List[tuple] = []
+    for i in range(n):
+        if prev_member[i] is not None or next_member[i] is None:
+            continue  # not the head of a chain of length >= 2
+        chain = [i]
+        while next_member[chain[-1]] is not None:
+            chain.append(next_member[chain[-1]])
+        members = [forward[k] for k in chain]
+        n_elementwise = sum(
+            1 for m in members if type(m.fn).__name__ in _FUSABLE_ELEMENTWISE
+        )
+        if n_elementwise < 2:
+            continue
+        fn = _FusedElementwise(members, slot_arrays)
+        # The fused instruction sits at the *last* member's position:
+        # every external operand is defined before its member's original
+        # position, so deferring the whole chain there is always legal.
+        replaced[chain[-1]] = _ForwardInstr(
+            fn,
+            [None] * len(fn._ext_slots),
+            [(p, slot) for p, slot in enumerate(fn._ext_slots)],
+            {},
+            members[-1].out_slot,
+            list(fn._ext_slots),
+        )
+        dropped.update(chain[:-1])
+        trail.append(
+            (
+                tuple(type(m.fn).__name__ for m in members),
+                members[-1].out_slot,
+                tuple(m.out_slot for m in members[:-1]),
+            )
+        )
+    if not replaced:
+        return list(forward), tuple(trail), 0
+    new_forward = [
+        replaced.get(k, instr)
+        for k, instr in enumerate(forward)
+        if k not in dropped
+    ]
+    return new_forward, tuple(trail), len(forward) - len(new_forward)
 
 
 class CompiledPlan:
@@ -188,6 +467,12 @@ class CompiledPlan:
         leaf tensors encountered in the tape).  MD force plans disable
         this: eager ``backward`` always drags gradients into the model
         weights, the compiled plan prunes those branches.
+    optimize:
+        Run the post-lowering compiler passes (elementwise chain fusion
+        and arena memory planning; see the module docstring).  ``False``
+        reproduces the 1:1 record/replay behavior — one instruction per
+        recorded op, every node buffer freshly allocated per replay —
+        which the runtime benchmark uses as its baseline.
     owner:
         Optional object (the model) pinned by the plan so ``id(owner)``
         keys in a :class:`~repro.runtime.cache.PlanCache` cannot be
@@ -207,6 +492,7 @@ class CompiledPlan:
         seed: Optional[Tensor] = None,
         inputs: Sequence[Tensor] = (),
         grad_params: bool = True,
+        optimize: bool = True,
         owner=None,
     ) -> None:
         self.owner = owner
@@ -300,6 +586,21 @@ class CompiledPlan:
                 continue
             forward.append(instr)
         self.n_folded = live.count(True) - len(forward)
+
+        # -- elementwise chain fusion: collapse single-consumer chains
+        # into _FusedElementwise instructions whose interior temporaries
+        # live in private scratch (never plan slots).  Runs before the
+        # backward build so interior slots never appear in the backward
+        # program either.
+        protected = set(output_slots)
+        if seed_slot is not None:
+            protected.add(seed_slot)
+        fused_trail: tuple = ()
+        self.n_fused_away = 0
+        if optimize and forward:
+            forward, fused_trail, self.n_fused_away = _fuse_elementwise_chains(
+                forward, protected, [t.data for t in tensors]
+            )
         self._forward = forward
 
         # -- values template: constants materialized once; computed,
@@ -338,6 +639,7 @@ class CompiledPlan:
             const=tuple(const),
             dropped=dropped,
             folded=tuple(folded),
+            fused=fused_trail,
         )
 
         # -- compiled backward: reversed instruction order is a valid
@@ -391,7 +693,7 @@ class CompiledPlan:
                     s = target[1]
                     if contributions[s] > 1:
                         if s not in buffers:
-                            buffers[s] = np.empty(tensors[s].data.shape, dtype=np.float64)
+                            buffers[s] = colored_empty(tensors[s].data.shape, np.float64)
                         target[2] = buffers[s]
                 instr.targets = [tuple(t) for t in instr.targets]
             self._backward = backward
@@ -407,6 +709,120 @@ class CompiledPlan:
                 slot_of[t._serial] if t.requires_grad else None for t in inputs
             ]
 
+        # -- arena memory planning: give every supports_out instruction a
+        # write target so steady-state replay allocates (near) nothing.
+        # The liveness pass supplies backward-aware lifetimes and legal
+        # donation pairs; plan outputs (and anything aliasing them) stay
+        # freshly allocated so callers may hold returned arrays across
+        # replays.
+        self._optimized = bool(optimize)
+        self.n_donated = 0
+        self._arena_nbytes = 0
+        self._arena_slab: Optional[np.ndarray] = None
+        donated_trail: List[tuple] = []
+        excluded = set(output_slots)
+        if optimize and forward:
+            from ..analysis.liveness import analyze_liveness  # lazy: analysis imports the model stack
+
+            # Opt-in kernels (channelwise TP) reuse internal transients
+            # across replays; only long-lived optimized-plan instances
+            # qualify, so the flag is flipped here, not in the kernel.
+            for instr in forward:
+                if getattr(type(instr.fn), "replay_scratch", None) is False:
+                    instr.fn.replay_scratch = True
+
+            report = analyze_liveness(self)
+            last_use = [iv.last_use for iv in report.intervals]
+            # A buffer stays pinned while *any* view of its storage lives.
+            class_last = list(last_use)
+            out_set = set(output_slots)
+            for cls in report.alias_classes:
+                t = max(last_use[m] for m in cls)
+                for m in cls:
+                    class_last[m] = max(class_last[m], t)
+                if any(m in out_set for m in cls):
+                    excluded.update(cls)
+            donate_at: Dict[int, object] = {}
+            for d in report.donations:
+                donate_at.setdefault(d.index, d)
+            # Storage requests: [def_time, end_time, size64, instr, shape,
+            # dtype, offset].  A donated output occupies its donor's
+            # storage in place, extending that request's lifetime instead
+            # of opening a new one.
+            requests: List[list] = []
+            holder: Dict[int, list] = {}  # slot -> request backing its value
+            for i, instr in enumerate(forward):
+                fn = instr.fn
+                out = instr.out_slot
+                if out in excluded or not fn.supports_out:
+                    continue
+                d = donate_at.get(i)
+                if d is not None and fn.out_alias_safe:
+                    instr.donor_slot = d.donor
+                    donated_trail.append((i, type(fn).__name__, d.donor, out))
+                    req = holder.get(d.donor)
+                    if req is not None:
+                        req[1] = max(req[1], class_last[out])
+                        holder[out] = req
+                    continue
+                shape = self.meta.slot_shapes[out]
+                dtype = self.meta.slot_dtypes[out]
+                nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                size64 = (nbytes + 63) & ~63  # cache-line granularity
+                req = [i, max(class_last[out], i), size64, instr, shape, dtype, 0]
+                requests.append(req)
+                holder[out] = req
+            # Offset assignment: greedy by size, largest block first, each
+            # at the lowest offset whose bytes are free over the block's
+            # whole lifetime.  All buffers are then views into ONE slab,
+            # so the steady-state working set is the program's true peak
+            # footprint — close to what malloc's reuse gives an eager
+            # pass — instead of one pinned buffer per distinct shape.
+            placed: List[tuple] = []  # (offset, limit, def_time, end_time)
+            for req in sorted(requests, key=lambda r: -r[2]):
+                start, end, size64 = req[0], req[1], req[2]
+                spans = sorted(
+                    (off, limit)
+                    for off, limit, s, e in placed
+                    if s <= end and start <= e
+                )
+                offset = 0
+                for lo, hi in spans:
+                    if lo - offset >= size64:
+                        break
+                    if hi > offset:
+                        offset = hi
+                req[6] = offset
+                placed.append((offset, offset + size64, start, end))
+            slab_size = max((r[6] + r[2] for r in requests), default=0)
+            self._arena_nbytes = slab_size
+            if slab_size:
+                slab = np.empty(slab_size, dtype=np.uint8)
+                self._arena_slab = slab
+                for _, _, _, instr, shape, dtype, offset in requests:
+                    nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                    instr.out_buffer = (
+                        slab[offset : offset + nbytes].view(dtype).reshape(shape)
+                    )
+            self.n_donated = len(donated_trail)
+        self.meta.donated = tuple(donated_trail)
+        # Residual per-replay allocations: non-view instructions with no
+        # arena target.  Plan outputs are fresh by design and excluded;
+        # ops' internal temporaries are out of scope of this counter.
+        n_alloc = 0
+        for instr in forward:
+            if instr.donor_slot is not None or instr.out_buffer is not None:
+                continue
+            name = type(instr.fn).__name__
+            if name in ("Reshape", "Transpose") or (
+                name == "GetItem" and _is_basic_index(instr.kwargs["key"])
+            ):
+                continue  # view outputs allocate nothing
+            if instr.out_slot in excluded:
+                continue
+            n_alloc += 1
+        self.n_alloc_instrs = n_alloc
+
         # Release the capture tape: replay never reads fn.inputs, and the
         # retained Functions would otherwise pin every capture Tensor.
         # Activations (fn.saved, bound argument slots) are released too —
@@ -415,6 +831,8 @@ class CompiledPlan:
         # memos between calls, not a full forward's intermediates.
         for instr in forward:
             instr.fn.inputs = ()
+            for member in getattr(instr.fn, "_members", ()):
+                member.fn.inputs = ()
         self._release_activations()
 
     def _release_activations(self) -> None:
@@ -423,6 +841,14 @@ class CompiledPlan:
             args = instr.args
             for position, _ in instr.bindings:
                 args[position] = None
+            # Fused instructions hold per-member state too: member saves
+            # and rebound member argument slots would otherwise pin a
+            # full chain's operand arrays between replays.
+            for member in getattr(instr.fn, "_members", ()):
+                member.fn.saved = ()
+                m_args = member.args
+                for position, _ in member.bindings:
+                    m_args[position] = None
 
     # -- introspection ----------------------------------------------------------
 
@@ -478,7 +904,13 @@ class CompiledPlan:
             args = instr.args
             for position, slot in instr.bindings:
                 args[position] = values[slot]
-            values[instr.out_slot] = instr.call(*args)
+            donor = instr.donor_slot
+            if donor is not None:
+                values[instr.out_slot] = instr.call(*args, out=values[donor])
+            elif instr.out_buffer is not None:
+                values[instr.out_slot] = instr.call(*args, out=instr.out_buffer)
+            else:
+                values[instr.out_slot] = instr.call(*args)
 
         outputs = [values[s] for s in self._output_slots]
         input_grads: List[Optional[np.ndarray]] = [None] * len(specs)

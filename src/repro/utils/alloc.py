@@ -1,0 +1,37 @@
+"""Cache-set colored allocation for long-lived replay buffers.
+
+Large allocations come straight from ``mmap`` and are page-aligned, so a
+set of pinned buffers (an arena, kernel scratch) would all start on the
+same L1/L2 cache sets and evict each other on every pass over a replay
+program.  Freshly malloc'd arrays dodge this by accident — their
+addresses re-roll every iteration — but a buffer pinned once keeps a bad
+draw for the plan's lifetime.  Staggering each buffer by a few cache
+lines inside a one-page over-allocation spreads the hot heads across
+sets and makes replay timing address-stable.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from math import prod
+
+import numpy as np
+
+__all__ = ["colored_empty"]
+
+_PAGE = 4096
+_LINE = 64
+_STRIDE = 5 * _LINE  # 5 is coprime with the 64 line slots per page
+_MIN_BYTES = 1 << 16  # below the mmap threshold the heap staggers for us
+_color = count()
+
+
+def colored_empty(shape, dtype) -> np.ndarray:
+    """``np.empty`` that staggers large buffers across cache sets."""
+    dtype = np.dtype(dtype)
+    nbytes = prod(shape) * dtype.itemsize
+    if nbytes < _MIN_BYTES:
+        return np.empty(shape, dtype=dtype)
+    offset = (next(_color) * _STRIDE) % _PAGE
+    raw = np.empty(nbytes + _PAGE, dtype=np.uint8)
+    return raw[offset : offset + nbytes].view(dtype).reshape(shape)

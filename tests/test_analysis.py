@@ -38,7 +38,9 @@ def _forward_chain_plan(rng):
     c2 = Tensor(rng.standard_normal((8, 5)))
     with record_tape() as tape:
         out = ((x * c1) * c2).sum()
-    return CompiledPlan(tape, outputs=(out,), inputs=(x,))
+    # optimize=False: these tests count the unfused 1:1 instruction list
+    # and probe per-op donation pairs (the chain would otherwise fuse).
+    return CompiledPlan(tape, outputs=(out,), inputs=(x,), optimize=False)
 
 
 class TestVerifierCleanPlans:

@@ -1,0 +1,123 @@
+"""Tests for padded-MD capacity buckets (plan hits across edge refilters)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import generate_structure
+from repro.graphs import MolecularGraph, build_neighbor_list
+from repro.mace import MACE, MACEConfig
+from repro.mace.geometry import within_cutoff
+from repro.md import MACECalculator
+from repro.md.calculator import EDGE_BUCKET
+
+CFG = MACEConfig(num_channels=4, lmax_sh=2, l_atomic_basis=2, correlation=2)
+CUTOFF = 3.0
+
+
+def triangle(d: float) -> MolecularGraph:
+    """O-H-H triangle whose 0-1 distance ``d`` straddles ``CUTOFF``."""
+    g = MolecularGraph(
+        np.array([[0.0, 0.0, 0.0], [d, 0.0, 0.0], [0.0, 2.9, 0.0]]),
+        np.array([8, 1, 1]),
+    )
+    return g
+
+
+class TestWithinCutoff:
+    def test_indicator_values(self):
+        r = Tensor(np.array([0.5, 2.0, 2.5, 2.5000001, 9.0]))
+        m = within_cutoff(r, 2.5)
+        np.testing.assert_array_equal(m.data, [1.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_zero_gradient(self):
+        r = Tensor(np.array([1.0, 3.0]), requires_grad=True)
+        within_cutoff(r, 2.0).sum().backward()
+        # Piecewise-constant indicator: no gradient flows to r.
+        assert r.grad is None or not np.any(r.grad)
+
+    def test_gradcheck_through_composite(self):
+        from repro.autograd.gradcheck import check_gradients
+
+        # Away from the threshold the indicator is locally constant, so
+        # d/dr [within_cutoff(r) * r] is exactly the mask itself —
+        # matching the finite-difference gradient.
+        r = Tensor(np.array([0.7, 1.9, 2.4, 3.1]))
+        check_gradients(lambda t: (within_cutoff(t, 2.0) * t).sum(), [r])
+
+
+class TestPaddedCalculator:
+    def test_matches_exact_across_cutoff_crossing(self):
+        """Padded (masked-superset) results equal the exact-edge results
+        even while an edge oscillates across the cutoff."""
+        model = MACE(CFG, seed=0)
+        plain = MACECalculator(model, cutoff=CUTOFF, pad_edges=False)
+        padded = MACECalculator(model, cutoff=CUTOFF)
+        assert padded.pad_edges
+        edge_counts = set()
+        for d in (2.90, 2.95, 3.02, 2.97, 3.04, 2.92):
+            ga, gb = triangle(d), triangle(d)
+            ea, fa = plain.energy_and_forces(ga)
+            eb, fb = padded.energy_and_forces(gb)
+            edge_counts.add(ga.n_edges)
+            assert eb == pytest.approx(ea, abs=1e-12)
+            np.testing.assert_allclose(fb, fa, atol=1e-12)
+        assert len(edge_counts) > 1  # the exact edge set really changed
+
+    def test_plan_hits_survive_refilter(self):
+        """One capture serves every step between rebuilds, even when the
+        exact edge set changes; the unpadded path must recapture."""
+        model = MACE(CFG, seed=0)
+        plain = MACECalculator(model, cutoff=CUTOFF, pad_edges=False)
+        padded = MACECalculator(model, cutoff=CUTOFF)
+        for d in (2.90, 3.02, 2.97, 3.04, 2.92):
+            plain.energy_and_forces(triangle(d))
+            padded.energy_and_forces(triangle(d))
+        assert padded.neighbor_cache.rebuilds == 1
+        assert padded.plan_cache.misses == 1
+        assert padded.plan_cache.hits == 4
+        assert padded.plan_cache.verified == 1  # padded plans verify clean
+        assert plain.plan_cache.misses > 1
+
+    def test_capacity_buckets_grow_only(self, rng):
+        g = generate_structure("Water clusters", rng, n_atoms=9)
+        calc = MACECalculator(MACE(CFG, seed=0), cutoff=4.5)
+        calc.energy_and_forces(g)
+        cap = calc.edge_capacity
+        assert cap % EDGE_BUCKET == 0
+        assert cap >= calc.neighbor_cache.candidate_edges()[0].shape[1]
+        # Shrinking the system never shrinks the capacity.
+        calc.energy_and_forces(triangle(2.9))
+        assert calc.edge_capacity >= cap
+
+    def test_pad_edges_resolution(self):
+        model = MACE(CFG, seed=0)
+        # auto: off without a calculator-owned neighbor list or plan cache.
+        assert not MACECalculator(model).pad_edges
+        assert not MACECalculator(model, cutoff=CUTOFF, compiled=None).pad_edges
+        assert MACECalculator(model, cutoff=CUTOFF).pad_edges
+        with pytest.raises(ValueError):
+            MACECalculator(model, pad_edges=True)
+
+    def test_unpadded_graph_unaffected(self):
+        """The caller's graph keeps its exact edges (padding is internal)."""
+        g = triangle(2.9)
+        calc = MACECalculator(MACE(CFG, seed=0), cutoff=CUTOFF)
+        calc.energy_and_forces(g)
+        send, recv = g.edge_index
+        r = np.linalg.norm(g.positions[send] - g.positions[recv], axis=1)
+        assert np.all(r <= CUTOFF)
+
+    def test_eager_padded_matches_exact(self, rng):
+        """Masking is exact independently of plan compilation."""
+        g = generate_structure("Water clusters", rng, n_atoms=9)
+        model = MACE(CFG, seed=0)
+        e0, f0 = MACECalculator(
+            model, cutoff=4.5, compiled=None, pad_edges=False
+        ).energy_and_forces(g)
+        g2 = MolecularGraph(g.positions.copy(), g.species.copy())
+        calc = MACECalculator(model, cutoff=4.5, compiled=None, pad_edges=True)
+        # pad_edges=True with compiled=None still pads (explicit request).
+        e1, f1 = calc.energy_and_forces(g2)
+        assert e1 == pytest.approx(e0, abs=1e-12)
+        np.testing.assert_allclose(f1, f0, atol=1e-12)

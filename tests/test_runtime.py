@@ -63,7 +63,10 @@ class TestCompiledPlanCore:
         plan, *_ = self._capture_quadratic()
         assert plan.n_dead == 1  # z * 10.0 feeds nothing
         assert plan.n_folded == 2  # c*c and its sum depend on constants only
-        assert plan.n_forward_ops == plan.n_recorded - plan.n_dead - plan.n_folded
+        assert (
+            plan.n_forward_ops
+            == plan.n_recorded - plan.n_dead - plan.n_folded - plan.n_fused_away
+        )
 
     def test_parameter_mutation_visible_next_replay(self):
         """In-place (and whole-array, same-shape) parameter updates are
