@@ -377,6 +377,92 @@ class SupportsOutRetainRule(Rule):
                     root = root.value
 
 
+class ParallelModuleStateRule(Rule):
+    name = "parallel-module-state"
+    explanation = (
+        "repro.parallel must stay fork-safe: module-level mutable state "
+        "(containers, locks, queues, shared memory) is snapshotted into "
+        "forked workers at arbitrary moments and silently diverges from "
+        "the driver's copy; hang all state off executor/worker instances"
+    )
+
+    # Constructors whose module-level result is mutable shared state.
+    _MUTABLE_CALLS = {
+        "dict",
+        "list",
+        "set",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "Queue",
+        "LifoQueue",
+        "PriorityQueue",
+        "SimpleQueue",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "SharedMemory",
+        "ShmSlab",
+        "LocalSlab",
+        "local",
+    }
+
+    @staticmethod
+    def _top_level(tree: ast.Module):
+        """Module-body statements, descending into top-level if/try arms."""
+        stack = list(tree.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.If, ast.Try)):
+                stack.extend(node.body)
+                stack.extend(node.orelse)
+                stack.extend(getattr(node, "finalbody", []))
+                for handler in getattr(node, "handlers", []):
+                    stack.extend(handler.body)
+            else:
+                yield node
+
+    def _is_mutable(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(value, ast.List):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def visit(self, tree, ctx):
+        if "parallel" not in ctx.path.parts:
+            return
+        for node in self._top_level(tree):
+            targets: Tuple[ast.AST, ...] = ()
+            value = None
+            if isinstance(node, ast.Assign):
+                targets, value = tuple(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = (node.target,), node.value
+            if value is None or not self._is_mutable(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if names == ["__all__"]:
+                continue  # export list: written once at import, never mutated
+            label = ", ".join(names) or "<target>"
+            yield node.lineno, (
+                f"module-level mutable state '{label}' in repro.parallel — "
+                "forked workers get a divergent copy; move it onto the "
+                "executor or WorkerContext instance"
+            )
+
+
 RULES: List[Rule] = [
     HotLoopScatterRule(),
     ForwardMutatesInputRule(),
@@ -384,6 +470,7 @@ RULES: List[Rule] = [
     AtomicWriteRule(),
     IdKeyedDictRule(),
     SupportsOutRetainRule(),
+    ParallelModuleStateRule(),
 ]
 
 

@@ -20,52 +20,65 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 __all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = [True]
-
 # Monotonic tensor serial numbers.  Every Tensor gets the next value at
 # construction; unlike ``id()`` a serial is never recycled, so serials
 # are safe dictionary keys for bookkeeping that outlives the tensors
 # (eager backward below, slot assignment in repro.runtime.plan).
+# ``itertools.count`` increments under the GIL, so serials stay unique
+# across threads.
 _SERIALS = itertools.count()
 
-# Active tape recorder (see repro.runtime).  When set, every Function
-# application is reported to it so a CompiledPlan can be built from one
-# eager pass.  A single module-level slot keeps the fast path to one
-# global load + identity check per op.
-_RECORDER = None
+
+class _EngineState(threading.local):
+    """Per-thread grad mode and active tape recorder.
+
+    Thread-local rather than module-global so the thread-pool executor
+    (:mod:`repro.parallel`) can run independent forward/backward passes
+    concurrently: one worker's ``no_grad()`` or plan capture must never
+    leak into another's training step.  ``threading.local`` runs
+    ``__init__`` once per thread on first touch, giving every thread the
+    default state.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = [True]
+        self.recorder = None
+
+
+_STATE = _EngineState()
 
 
 def _set_recorder(recorder):
     """Install (or clear, with ``None``) the active tape recorder.
 
     Returns the previously installed recorder so callers can restore it;
-    used only by :mod:`repro.runtime`.
+    used only by :mod:`repro.runtime`.  The recorder slot is per-thread.
     """
-    global _RECORDER
-    previous = _RECORDER
-    _RECORDER = recorder
+    previous = _STATE.recorder
+    _STATE.recorder = recorder
     return previous
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling tape construction."""
-    _GRAD_ENABLED.append(False)
+    """Context manager disabling tape construction (this thread only)."""
+    _STATE.grad_enabled.append(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED.pop()
+        _STATE.grad_enabled.pop()
 
 
 def is_grad_enabled() -> bool:
     """Whether operations currently record to the tape."""
-    return _GRAD_ENABLED[-1]
+    return _STATE.grad_enabled[-1]
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -158,8 +171,9 @@ class Function:
         out = Tensor(out_data, requires_grad=requires)
         if requires:
             out._ctx = fn
-        if _RECORDER is not None:
-            _RECORDER.record(fn, args, kwargs, out)
+        recorder = _STATE.recorder
+        if recorder is not None:
+            recorder.record(fn, args, kwargs, out)
         return out
 
 
@@ -229,6 +243,26 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    # -- pickling ----------------------------------------------------------------
+    #
+    # Serial numbers are *process-local* identity: restoring a pickled
+    # serial into another process (or even the same one) could collide
+    # with a live tensor's serial and miscompile any plan captured over
+    # both.  An unpickled tensor is therefore a fresh leaf: new serial,
+    # no tape context.  The tape itself never crosses pickle — compiled
+    # plans strip ``fn.inputs`` at build time, and ad-hoc tensors lose
+    # their history (``.data``/``.grad`` survive, ``backward()`` does
+    # not), which is exactly the cross-process contract the parallel
+    # workers need.
+
+    def __getstate__(self):
+        return (self.data, self.grad, self.requires_grad)
+
+    def __setstate__(self, state) -> None:
+        self.data, self.grad, self.requires_grad = state
+        self._ctx = None
+        self._serial = next(_SERIALS)
 
     def __repr__(self) -> str:
         grad = ", requires_grad=True" if self.requires_grad else ""

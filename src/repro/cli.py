@@ -270,6 +270,67 @@ def _cmd_plan_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate_cost_model(args: argparse.Namespace) -> int:
+    from .mace import MACE, MACEConfig
+    from .parallel import available_cores
+    from .serving import InferenceEngine, build_request_pool, generate_trace
+
+    cfg = MACEConfig(
+        num_channels=args.channels, lmax_sh=2, l_atomic_basis=2, correlation=2
+    )
+    pool = build_request_pool(args.pool, seed=args.seed, max_atoms=args.max_atoms)
+    trace = generate_trace(
+        pool, args.requests, rate=args.rate, process="poisson", seed=args.seed
+    )
+
+    def engine(**kw):
+        return InferenceEngine(
+            MACE(cfg, seed=args.seed),
+            pool,
+            n_replicas=args.replicas,
+            max_batch_tokens=args.capacity,
+            **kw,
+        )
+
+    sim = engine().serve(trace)
+    with engine(
+        mode="wall-clock", backend=args.backend, n_workers=args.workers
+    ) as eng:
+        cold = eng.serve(trace)
+        rep = eng.serve(trace) if args.warm else cold
+
+    print(
+        f"{trace.n_requests} requests on {args.workers} {args.backend} worker(s) "
+        f"({available_cores()} core(s) visible), model {args.channels} channels"
+    )
+    print()
+    print(rep.summary())
+    err = max(
+        abs(a.energy - b.energy) for a, b in zip(rep.records, sim.records)
+    )
+    print()
+    print(f"wall-clock vs simulate max |dE|     : {err:.3e}")
+    if args.warm:
+        print(
+            f"cold-serve capture overhead         : "
+            f"{cold.capture_seconds * 1e3:.1f} ms "
+            f"({cold.capture_seconds / max(cold.measured_makespan, 1e-12):.0%} "
+            f"of cold makespan)"
+        )
+    scale = rep.cost_model_scale
+    p90 = rep.cost_model_p90_error
+    print(
+        f"calibration                         : scale {scale:.2f}x, "
+        f"p90 shape error {p90:.0%}"
+        if scale is not None and p90 is not None
+        else "calibration                         : not enough batches"
+    )
+    if err > 1e-12:
+        print("FAIL: wall-clock numerics drifted from simulate mode")
+        return 1
+    return 0
+
+
 def _post_optimization_report(plan, report) -> str:
     """What the optimizing passes actually consumed on a compiled plan.
 
@@ -467,6 +528,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--max-atoms", type=int, default=40)
     p_plan.add_argument("--seed", type=int, default=0)
     p_plan.set_defaults(fn=_cmd_plan_report)
+
+    p_val = sub.add_parser(
+        "validate-cost-model",
+        help="serve a trace on real workers and calibrate the cost model",
+        description=(
+            "Serve the same synthetic trace twice: once with simulated "
+            "timing (the analytical cost model) and once in wall-clock "
+            "mode on a repro.parallel worker pool.  Prints the measured "
+            "report plus the calibration numbers — the global scale "
+            "factor between predicted and measured batch seconds and the "
+            "p90 shape error after dividing that scale out.  Exits "
+            "nonzero if the wall-clock energies drift from simulate mode."
+        ),
+    )
+    p_val.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="process",
+        help="worker pool backend (default process)",
+    )
+    p_val.add_argument(
+        "--workers", type=int, default=2, help="pool size (default 2)"
+    )
+    p_val.add_argument(
+        "--requests", type=int, default=60, help="trace length (default 60)"
+    )
+    p_val.add_argument(
+        "--rate", type=float, default=400.0, help="mean arrival rate, req/s"
+    )
+    p_val.add_argument(
+        "--replicas", type=int, default=2, help="virtual replica count"
+    )
+    p_val.add_argument(
+        "--capacity",
+        type=int,
+        default=128,
+        help="micro-batch token budget (default 128)",
+    )
+    p_val.add_argument(
+        "--pool", type=int, default=8, help="molecule pool size (default 8)"
+    )
+    p_val.add_argument(
+        "--max-atoms", type=int, default=40, help="largest pool molecule"
+    )
+    p_val.add_argument(
+        "--channels", type=int, default=8, help="served model channel count"
+    )
+    p_val.add_argument(
+        "--no-warm",
+        dest="warm",
+        action="store_false",
+        help="report the cold serve (includes plan capture) instead of a warmed one",
+    )
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.set_defaults(fn=_cmd_validate_cost_model)
     return parser
 
 

@@ -328,14 +328,21 @@ class _ChannelwiseTPOptimized(Function):
         # The per-edge operator M depends only on Y.  A *replayed*
         # instance (repro.runtime) whose Y was constant-folded sees the
         # identical array object on every call, so the reduction GEMM is
-        # memoized per instance; eager one-shot instances (and force
-        # plans, which rebind positions and hence Y) always recompute.
-        state = self.__dict__.get("_m_cache")
+        # memoized per instance.  Identity is only trustworthy when the
+        # plan marked Y const: optimized plans reuse arena buffer
+        # *objects* across replays with fresh contents, so they publish
+        # const_args and the memo defers to it (force plans recompute Y
+        # from the rebound positions every replay).  Eager one-shot
+        # instances and 1:1 replays never alias fresh contents into an
+        # old object, so the identity check alone stays sufficient.
+        memo_ok = self.__dict__.get("const_args", (True,))[0]
+        state = self.__dict__.get("_m_cache") if memo_ok else None
         if state is not None and state[0] is Y:
             M = state[1]
         else:
             M = (Y @ table.reduce_y).reshape(E, table.n_pairs, d3)
-            self._m_cache = (Y, M)
+            if memo_ok:
+                self._m_cache = (Y, M)
         pair_shape = (E, K, table.n_pairs)
         small = self.replay_scratch and E * K * table.n_pairs <= _PAIR_SAVE_MAX
         if small:

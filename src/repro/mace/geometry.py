@@ -32,12 +32,22 @@ __all__ = [
 ]
 
 
-def edge_vectors(positions: Tensor, edge_index: np.ndarray, edge_shift: np.ndarray) -> Tensor:
-    """Displacement vectors ``r_ji = pos[j] + shift - pos[i]`` per edge."""
+def edge_vectors(positions: Tensor, edge_index, edge_shift) -> Tensor:
+    """Displacement vectors ``r_ji = pos[j] + shift - pos[i]`` per edge.
+
+    ``edge_index`` is a ``(2, n_edges)`` integer array or a
+    ``(send, recv)`` pair; the components (and ``edge_shift``) may be
+    integer/float :class:`Tensor` objects, in which case a compiled plan
+    listing them among its inputs treats the whole edge set as a
+    replayable *input* — the padded-MD path uses this so a neighbor-list
+    rebuild into the same capacity bucket re-hits the plan instead of
+    recapturing (see :meth:`repro.mace.MACE.energy_and_forces`).
+    """
     send, recv = edge_index
     pj = gather_rows(positions, send)
     pi = gather_rows(positions, recv)
-    return pj - pi + Tensor(edge_shift)
+    shift = edge_shift if isinstance(edge_shift, Tensor) else Tensor(edge_shift)
+    return pj - pi + shift
 
 
 class _EdgeNorm(Function):

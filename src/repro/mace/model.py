@@ -91,7 +91,7 @@ class InteractionLayer(Module):
         h: Tensor,
         Y: Tensor,
         r: Tensor,
-        edge_index: np.ndarray,
+        edge_index,  # (2, E) array or (send, recv) pair; rows may be Tensors
         species_idx: np.ndarray,
         edge_mask: Optional[Tensor] = None,
     ) -> Tensor:
@@ -162,12 +162,21 @@ class MACE(Module):
     # -- forward -----------------------------------------------------------------
 
     def forward(
-        self, batch: GraphBatch, positions: Optional[Tensor] = None
+        self,
+        batch: GraphBatch,
+        positions: Optional[Tensor] = None,
+        edges: Optional[Tuple] = None,
     ) -> Tensor:
         """Per-graph total energies, shape ``(n_graphs,)``.
 
         Pass a ``positions`` tensor with ``requires_grad=True`` to obtain
-        forces via ``backward`` (see :meth:`forces`).
+        forces via ``backward`` (see :meth:`forces`).  ``edges`` optionally
+        overrides the batch's edge arrays with a ``(send, recv, shift)``
+        triple of (integer) tensors, making the edge set a replayable
+        plan input instead of a folded constant — the padded-MD path
+        threads the Verlet candidate arrays through here so a
+        neighbor-list rebuild into the same capacity bucket re-hits the
+        compiled plan.
         """
         cfg = self.cfg
         if positions is None:
@@ -175,7 +184,12 @@ class MACE(Module):
         species_idx = self.species_indices(batch.species)
         n_atoms = batch.n_atoms
 
-        vec = edge_vectors(positions, batch.edge_index, batch.edge_shift)
+        if edges is None:
+            send, recv = batch.edge_index
+            shift = batch.edge_shift
+        else:
+            send, recv, shift = edges
+        vec = edge_vectors(positions, (send, recv), shift)
         r = edge_lengths(vec)
         Y = edge_spherical_harmonics(vec, cfg.lmax_sh)
         edge_mask = None
@@ -201,7 +215,7 @@ class MACE(Module):
         site_energy = gather_rows(self.species_energy, species_idx)  # (N,)
         for t in range(cfg.n_layers):
             h = getattr(self, f"layer{t}")(
-                h, Y, r, batch.edge_index, species_idx, edge_mask=edge_mask
+                h, Y, r, (send, recv), species_idx, edge_mask=edge_mask
             )
             invariant = h[:, :, 0]  # (N, K) degree-0 part
             if t < cfg.n_layers - 1:
@@ -254,21 +268,53 @@ class MACE(Module):
         """
         cache = self._plan_cache_for(compiled)
         if cache is not None:
+            padded = getattr(batch, "masked_cutoff", None) is not None
             # The plan pins this model as its owner, so id(self) cannot be
             # recycled into a key collision while the entry is alive.
-            key = ("forces", id(self), batch_signature(batch, include_positions=False))  # lint: allow-id-keyed-dict
+            # Padded-MD batches additionally exclude the edge *content*
+            # from the key and bind the candidate edge arrays as replay
+            # inputs: a Verlet rebuild into the same capacity bucket then
+            # re-hits this plan instead of recapturing (the signature
+            # still covers the edge count/dtype via the array shapes, and
+            # the replay guard rejects any capacity change).
+            key = (
+                "forces",
+                id(self),  # lint: allow-id-keyed-dict
+                batch_signature(
+                    batch, include_positions=False, include_edges=not padded
+                ),
+            )
             plan = cache.get(key)
             if plan is not None:
                 try:
-                    (energies,), (grad,) = plan.replay(batch.positions)
+                    if padded:
+                        (energies,), grads = plan.replay(
+                            batch.positions,
+                            batch.edge_index[0],
+                            batch.edge_index[1],
+                            batch.edge_shift,
+                        )
+                        grad = grads[0]
+                    else:
+                        (energies,), (grad,) = plan.replay(batch.positions)
                     assert grad is not None
                     return energies, -grad
                 except PlanStale:
                     cache.invalidate(key)
             else:
                 positions = Tensor(batch.positions.copy(), requires_grad=True)
+                if padded:
+                    edges = (
+                        Tensor(batch.edge_index[0].copy()),
+                        Tensor(batch.edge_index[1].copy()),
+                        Tensor(batch.edge_shift.copy()),
+                    )
+                    inputs = (positions,) + edges
+                else:
+                    edges = None
+                    inputs = (positions,)
                 with record_tape() as tape:
-                    energies = self.forward(batch, positions=positions)
+                    energies = self.forward(batch, positions=positions, edges=edges)
                     total = energies.sum()
                 total.backward()
                 assert positions.grad is not None
@@ -278,7 +324,7 @@ class MACE(Module):
                         tape,
                         outputs=(energies,),
                         seed=total,
-                        inputs=(positions,),
+                        inputs=inputs,
                         grad_params=False,
                         owner=self,
                     ),
@@ -318,3 +364,17 @@ class MACE(Module):
             out = self.forward(batch)
         cache.put(key, CompiledPlan(tape, outputs=(out,), owner=self))
         return out.numpy()
+
+    def energy_plan(self, batch: GraphBatch, compiled=None):
+        """The cached zero-input energy plan for ``batch``, or ``None``.
+
+        The serving engine's wall-clock mode broadcasts this plan to pool
+        workers after the first (capturing) ``predict_energy`` call for a
+        composition; keeping the key construction here avoids leaking the
+        cache-key format out of the model.
+        """
+        cache = self._plan_cache_for(compiled)
+        if cache is None:
+            return None
+        key = ("energy", id(self), batch_signature(batch, include_positions=True))  # lint: allow-id-keyed-dict
+        return cache.get(key)

@@ -1,0 +1,307 @@
+"""Worker-side protocol: installed state and the tasks that run on it.
+
+Everything a worker holds lives in one :class:`WorkerContext`; nothing
+in this module keeps module-level state, so a respawned worker is
+reconstructed exactly by replaying the executor's install log (see
+:mod:`repro.parallel.executor`).
+
+Two message kinds cross the task queue:
+
+- **install messages** (:class:`InstallModel`, :class:`InstallPlan`,
+  :class:`SetupRank`) mutate the context and are idempotent — the
+  executor logs them per worker and replays the log into a respawned
+  replacement after a worker death;
+- **tasks** (:class:`ForwardTask`, :class:`GradStep`) compute and return
+  a small metadata dict; array payloads travel through the executor's
+  shared-memory slab (:mod:`repro.parallel.shm`) whenever they fit, and
+  inline through the queue otherwise.
+
+Timestamps use ``time.monotonic()``: ``CLOCK_MONOTONIC`` is system-wide
+on Linux, so worker-side start/finish stamps are directly comparable to
+the driver's clock.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .shm import ArrayHandle
+
+__all__ = [
+    "ForwardTask",
+    "GradStep",
+    "InstallModel",
+    "InstallPlan",
+    "SetupRank",
+    "WorkerContext",
+]
+
+
+def _clone(obj):
+    """Process-equivalent copy: the same round trip the queue would do.
+
+    Thread workers install through this too, so every backend gives each
+    worker private model/plan instances — replaying a shared plan from
+    two threads would race on its instruction state and arena buffers.
+    """
+    return pickle.loads(pickle.dumps(obj))
+
+
+@dataclass
+class RankState:
+    """One DDP rank living on a worker: a trainer over a private model."""
+
+    rank: int
+    trainer: Any
+    params: list  # the flatten/unflatten order, = list(model.parameters())
+
+
+class WorkerContext:
+    """All state a worker accumulates from install messages."""
+
+    def __init__(self, worker_id: int, slab=None) -> None:
+        self.worker_id = worker_id
+        self.slab = slab  # attached ShmSlab (process), LocalSlab, or None
+        self.models: Dict[int, Any] = {}  # version -> MACE
+        self.plan_caches: Dict[int, Any] = {}  # version -> PlanCache
+        self.plans: Dict[Tuple[int, bytes], Any] = {}  # (version, key) -> plan
+        self.ranks: Dict[int, RankState] = {}
+
+    def _array(self, ref):
+        """Resolve a task operand: slab handle or inline ndarray."""
+        if isinstance(ref, ArrayHandle):
+            return self.slab.view(ref)
+        return ref
+
+
+# -- install messages ---------------------------------------------------------
+
+
+@dataclass
+class InstallModel:
+    """Publish one model version to a worker."""
+
+    version: int
+    model: Any
+
+    def install(self, ctx: WorkerContext) -> None:
+        from ..runtime import PlanCache
+
+        ctx.models[self.version] = _clone(self.model)
+        # Worker-side captures happen off the driver's verified path, and
+        # conftest-style verify hooks don't exist here: skip verification
+        # (the driver broadcasts verified plans for the hot compositions;
+        # this cache only serves the self-capture fallback).
+        ctx.plan_caches[self.version] = PlanCache(verify=False)
+
+    def replaces(self, other) -> bool:
+        return isinstance(other, InstallModel) and other.version == self.version
+
+
+@dataclass
+class InstallPlan:
+    """Publish one compiled plan under a content key.
+
+    The plan arrives pickled (scratch stripped — see
+    ``CompiledPlan.__getstate__``); its buffers are rebuilt lazily on the
+    worker's first replay.
+    """
+
+    version: int
+    key: bytes
+    plan: Any
+
+    def install(self, ctx: WorkerContext) -> None:
+        ctx.plans[(self.version, self.key)] = _clone(self.plan)
+
+    def replaces(self, other) -> bool:
+        return (
+            isinstance(other, InstallPlan)
+            and (other.version, other.key) == (self.version, self.key)
+        )
+
+
+@dataclass
+class SetupRank:
+    """Create one DDP rank's state: a trainer over a private model clone.
+
+    The shipped ``graphs`` are the full training list (batch indices are
+    global), and the driver's fitted scaler is copied in verbatim so the
+    worker's loss matches the driver's serial trainer bit for bit.
+    ``compiled=False`` forces eager loss steps — the configuration under
+    which per-rank gradients are *bitwise* equal to the serial
+    ``Trainer.ddp_step`` (compiled steps agree to ~1e-15 reassociation;
+    see ``tests/test_parallel.py``).
+    """
+
+    rank: int
+    model_version: int
+    graphs: Any
+    scaler_mean: float
+    scaler_std: float
+    loss_weighting: str = "per_atom"
+    compiled: bool = True
+
+    def install(self, ctx: WorkerContext) -> None:
+        from ..training.trainer import Trainer
+
+        model = _clone(ctx.models[self.model_version])
+        trainer = Trainer(
+            model,
+            _clone(self.graphs),
+            loss_weighting=self.loss_weighting,
+            plan_cache="auto" if self.compiled else None,
+        )
+        trainer.scaler.mean_per_atom = self.scaler_mean
+        trainer.scaler.std_per_atom = self.scaler_std
+        ctx.ranks[self.rank] = RankState(
+            rank=self.rank, trainer=trainer, params=list(model.parameters())
+        )
+
+    def replaces(self, other) -> bool:
+        return isinstance(other, SetupRank) and other.rank == self.rank
+
+
+# -- tasks --------------------------------------------------------------------
+
+
+@dataclass
+class ForwardTask:
+    """One micro-batch energy evaluation.
+
+    Fast path: ``plan_key`` names an installed forward plan whose
+    constants *are* the batch (serving pools are static, so a micro-batch
+    composition pins its content); the worker replays it with zero
+    inputs.  Fallback: ``batch`` carries the collated arrays (handles or
+    inline) and the worker runs ``predict_energy`` against its own plan
+    cache — used when a plan broadcast was skipped or lost.
+
+    ``result`` optionally names a driver-allocated slab segment of shape
+    ``(n_graphs,)``; the energies are written there and the returned
+    metadata carries only timestamps.  Without it the energies come back
+    inline.
+    """
+
+    task_id: Any
+    version: int
+    plan_key: Optional[bytes] = None
+    batch: Optional[Dict[str, Any]] = None
+    n_graphs: int = 0
+    masked_cutoff: Optional[float] = None
+    result: Optional[ArrayHandle] = None
+
+    def run(self, ctx: WorkerContext) -> Dict[str, Any]:
+        start = time.monotonic()
+        plan = None
+        if self.plan_key is not None:
+            plan = ctx.plans.get((self.version, self.plan_key))
+        if plan is not None:
+            (energies,), _ = plan.replay(compute_grads=False)
+        else:
+            energies = self._fallback(ctx)
+        out: Dict[str, Any] = {
+            "task_id": self.task_id,
+            "worker": ctx.worker_id,
+            "start": start,
+            "finish": time.monotonic(),
+            "replayed": plan is not None,
+        }
+        if self.result is not None:
+            ctx.slab.view(self.result)[...] = energies
+        else:
+            out["energies"] = np.asarray(energies, dtype=np.float64)
+        return out
+
+    def _fallback(self, ctx: WorkerContext) -> np.ndarray:
+        if self.batch is None:
+            raise RuntimeError(
+                f"task {self.task_id}: plan {self.plan_key!r} not installed "
+                "and no batch payload to fall back to"
+            )
+        from ..graphs.batch import GraphBatch
+
+        arrays = {name: np.asarray(ctx._array(ref)) for name, ref in self.batch.items()}
+        batch = GraphBatch(
+            positions=arrays["positions"],
+            species=arrays["species"],
+            graph_index=arrays["graph_index"],
+            edge_index=arrays["edge_index"],
+            edge_shift=arrays["edge_shift"],
+            energies=arrays["energies"],
+            n_graphs=self.n_graphs,
+        )
+        if self.masked_cutoff is not None:
+            batch.masked_cutoff = self.masked_cutoff
+        model = ctx.models[self.version]
+        return model.predict_energy(batch, compiled=ctx.plan_caches[self.version])
+
+
+@dataclass
+class GradStep:
+    """One rank's forward/backward for one DDP step.
+
+    Parameters stream in through ``params`` (the shared flattened
+    parameter segment, written by the driver before each step); the
+    flattened gradient streams out through ``grads`` (this rank's private
+    segment).  Without a slab both fall back to inline arrays in the
+    task/result messages.
+    """
+
+    task_id: Any
+    rank: int
+    batch_indices: Tuple[int, ...]
+    capacity: int = 0
+    params: Any = None  # ArrayHandle | ndarray (inline)
+    grads: Optional[ArrayHandle] = None
+
+    def run(self, ctx: WorkerContext) -> Dict[str, Any]:
+        start = time.monotonic()
+        state = ctx.ranks[self.rank]
+        trainer = state.trainer
+        flat = np.asarray(ctx._array(self.params))
+        offset = 0
+        for p in state.params:
+            n = p.data.size
+            p.data[...] = flat[offset : offset + n].reshape(p.data.shape)
+            offset += n
+        trainer.model.zero_grad()
+        batch = trainer._collate(list(self.batch_indices), self.capacity)
+        loss = trainer._loss_step(batch)
+        grad_flat = np.concatenate(
+            [
+                (p.grad if p.grad is not None else np.zeros(p.data.shape)).ravel()
+                for p in state.params
+            ]
+        )
+        out: Dict[str, Any] = {
+            "task_id": self.task_id,
+            "worker": ctx.worker_id,
+            "rank": self.rank,
+            "loss": float(loss),
+            "start": start,
+            "finish": time.monotonic(),
+        }
+        if self.grads is not None:
+            ctx.slab.view(self.grads)[...] = grad_flat
+        else:
+            out["grad"] = grad_flat
+        return out
+
+
+def flatten_params(params) -> np.ndarray:
+    """Concatenate parameter arrays in order (the DDP wire format)."""
+    return np.concatenate([np.asarray(p.data).ravel() for p in params])
+
+
+def unflatten_into(flat: np.ndarray, arrays) -> None:
+    """Scatter a flat vector back over ``arrays`` in order, in place."""
+    offset = 0
+    for a in arrays:
+        n = a.size
+        a[...] = flat[offset : offset + n].reshape(a.shape)
+        offset += n

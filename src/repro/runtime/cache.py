@@ -61,24 +61,35 @@ def batch_signature(
     batch,
     include_positions: bool = True,
     include_labels: bool = False,
+    include_edges: bool = True,
 ) -> bytes:
     """Digest of a batch's shape bucket for plan-cache keys.
 
     Always covers the structural layout (species, graph membership, edge
-    index and shifts, counts) plus the position array's dtype, so a
-    dtype change can never replay a stale plan.  ``include_positions``
-    adds the position values — required for plans that folded geometry
-    as constants (energy and training-loss plans); force plans rebind
-    positions per replay and leave it off so an MD trajectory keeps
-    hitting one plan while its edge set is stable.  ``include_labels``
-    adds the energy labels (training-loss plans fold the targets).
+    counts) plus the position array's dtype, so a dtype change can never
+    replay a stale plan.  ``include_positions`` adds the position values
+    — required for plans that folded geometry as constants (energy and
+    training-loss plans); force plans rebind positions per replay and
+    leave it off so an MD trajectory keeps hitting one plan while its
+    edge set is stable.  ``include_labels`` adds the energy labels
+    (training-loss plans fold the targets).  ``include_edges=False``
+    drops the edge *content* while keeping the edge count and dtypes —
+    for plans that bind the edge arrays as replay inputs (the padded-MD
+    force plans), where a neighbor-list rebuild into the same capacity
+    bucket must hit the same key.
     """
     h = hashlib.blake2b(digest_size=16)
     h.update(int(batch.n_graphs).to_bytes(8, "little", signed=False))
     _update(h, batch.species)
     _update(h, batch.graph_index)
-    _update(h, batch.edge_index)
-    _update(h, batch.edge_shift)
+    if include_edges:
+        _update(h, batch.edge_index)
+        _update(h, batch.edge_shift)
+    else:
+        h.update(b"edges-as-inputs")
+        h.update(int(batch.n_edges).to_bytes(8, "little", signed=False))
+        h.update(str(batch.edge_index.dtype).encode())
+        h.update(str(batch.edge_shift.dtype).encode())
     h.update(str(batch.positions.dtype).encode())
     masked = getattr(batch, "masked_cutoff", None)
     if masked is not None:

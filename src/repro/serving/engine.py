@@ -24,7 +24,7 @@ what the scheduler benchmarks use.
 from __future__ import annotations
 
 import math
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -108,6 +108,23 @@ class InferenceEngine:
     execute:
         Run the real NumPy forward per micro-batch and fill per-request
         energies (True), or simulate timing only (False).
+    mode:
+        ``"simulate"`` (default) times batches purely on the cost model's
+        virtual clock.  ``"wall-clock"`` keeps the *identical* virtual
+        schedule — same admission, batching, placement and records — but
+        additionally executes every micro-batch on a real worker pool
+        (:mod:`repro.parallel`): the driver captures one zero-input
+        compiled plan per micro-batch composition and broadcasts it, the
+        pinned worker (``replica % n_workers``) replays it, and the
+        report gains measured per-batch seconds, the real makespan and
+        the pool's robustness counters beside the predictions — the raw
+        material of cost-model validation.  Requires ``execute=True``
+        and a plan cache.
+    executor, backend, n_workers:
+        Wall-clock pool configuration.  Pass an existing
+        :class:`~repro.parallel.BaseExecutor` to share one, or let the
+        engine build (and own) a ``make_executor(backend, n_workers)``
+        lazily on first use; :meth:`close` shuts an owned pool down.
     charge_host_forward:
         With ``execute=True``, add the *measured* host forward wall-time
         to the simulated service time (makes reports hardware-dependent;
@@ -135,9 +152,15 @@ class InferenceEngine:
         execute: bool = True,
         charge_host_forward: bool = False,
         slo_seconds: Optional[float] = None,
+        mode: str = "simulate",
+        executor=None,
+        backend: str = "process",
+        n_workers: int = 2,
     ) -> None:
         if n_replicas <= 0:
             raise ValueError("n_replicas must be positive")
+        if mode not in ("simulate", "wall-clock"):
+            raise ValueError(f"unknown mode {mode!r}")
         if max_batch_tokens <= 0:
             raise ValueError("max_batch_tokens must be positive")
         if max_wait < 0:
@@ -194,6 +217,27 @@ class InferenceEngine:
         self.execute = execute
         self.charge_host_forward = charge_host_forward
         self.slo_seconds = slo_seconds
+        self.mode = mode
+        if mode == "wall-clock" and (not execute or self.plan_cache is None):
+            raise ValueError(
+                "mode='wall-clock' needs execute=True and a plan cache "
+                "(workers replay driver-captured plans)"
+            )
+        self.backend = backend
+        self.n_workers = int(n_workers)
+        self._executor = executor
+        self._own_executor = False
+        # Install bookkeeping: model versions and (version, signature)
+        # plan keys already broadcast to the pool.
+        self._installed_versions: set = set()
+        self._installed_plans: set = set()
+        # Async submit()/drain() state.
+        self._async_pending: List[Tuple[int, int]] = []  # (req_id, graph_id)
+        self._async_tokens = 0
+        self._async_seq = 0
+        self._async_batches = 0
+        self._async_tasks: Dict[object, Tuple[List[int], object]] = {}
+        self._async_results: Dict[int, float] = {}
         # Observed collate-cache hit rate (EMA over executed batches);
         # starts pessimistic (0 = every batch collates from scratch) and
         # sharpens estimate_service as traffic reveals hot molecules.
@@ -267,6 +311,91 @@ class InferenceEngine:
         sm = self.service_model if replica is None else self.service_models[replica]
         return sm.batch_seconds(tokens, edges, hit_rate=self.cache_hit_ema)
 
+    # -- wall-clock execution -----------------------------------------------------
+
+    def _ensure_executor(self):
+        """The worker pool, built lazily (and then owned) if none was given."""
+        if self._executor is None:
+            from ..parallel import make_executor
+
+            self._executor = make_executor(self.backend, self.n_workers)
+            self._own_executor = True
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down an engine-owned executor (shared ones are left alone)."""
+        if self._own_executor and self._executor is not None:
+            self._executor.shutdown()
+        if self._own_executor:
+            self._executor = None
+            self._own_executor = False
+        self._installed_versions.clear()
+        self._installed_plans.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _install_model(self, ex) -> None:
+        if self.model_version not in self._installed_versions:
+            from ..parallel import InstallModel
+
+            ex.install(InstallModel(version=self.model_version, model=self.model))
+            self._installed_versions.add(self.model_version)
+
+    def _broadcast_plan(self, ex, gb) -> Tuple[bytes, float]:
+        """Make sure the pool holds this composition's zero-input plan.
+
+        The serving pool is static, so a micro-batch composition pins its
+        content: the energy plan folds everything — positions included —
+        as constants and replays with no inputs.  First occurrence per
+        composition: the driver captures through its own plan cache and
+        broadcasts the plan.  Returns ``(signature, capture_seconds)``.
+        """
+        from ..parallel import InstallPlan
+        from ..runtime.cache import batch_signature
+
+        sig = batch_signature(gb, include_positions=True)
+        ident = (self.model_version, sig)
+        if ident in self._installed_plans:
+            return sig, 0.0
+        t0 = perf_counter()
+        self.model.predict_energy(gb, compiled=self.plan_cache)
+        plan = self.model.energy_plan(gb, compiled=self.plan_cache)
+        capture_dt = perf_counter() - t0
+        if plan is None:
+            raise RuntimeError(
+                "energy plan missing after capture (plan cache evicting "
+                "under the serving working set?)"
+            )
+        self._install_model(ex)
+        ex.install(InstallPlan(version=self.model_version, key=sig, plan=plan))
+        self._installed_plans.add(ident)
+        return sig, capture_dt
+
+    def _submit_forward(self, ex, gb, sig: bytes, task_id, worker: int):
+        """Submit one micro-batch replay; returns its result segment (or None)."""
+        from ..parallel import ForwardTask, SlabFull
+
+        try:
+            seg = ex.slab.alloc((gb.n_graphs,), np.float64)
+        except SlabFull:
+            seg = None  # energies ride back inline through the queue
+        ex.submit(
+            ForwardTask(
+                task_id=task_id,
+                version=self.model_version,
+                plan_key=sig,
+                n_graphs=gb.n_graphs,
+                result=seg,
+            ),
+            worker=worker,
+        )
+        return seg
+
     # -- serving ------------------------------------------------------------------
 
     def serve(
@@ -304,9 +433,20 @@ class InferenceEngine:
         swap_events = sorted(swaps or [], key=lambda ev: ev[0])
         hits0, misses0 = self.collate_cache.hits, self.collate_cache.misses
 
+        wall = self.mode == "wall-clock"
+        ex = self._ensure_executor() if wall else None
+        if wall:
+            self._install_model(ex)
+            deaths0 = ex.stats.worker_deaths
+            resub0 = ex.stats.resubmitted
+            wall_t0 = monotonic()
+
         records: List[RequestRecord] = []
         batch_tokens: List[int] = []
-        state = {"swap_idx": 0, "batch_id": 0, "host_forward": 0.0}
+        predicted: List[float] = []
+        # batch_id -> (first record index, n requests, result segment)
+        wall_meta: Dict[int, Tuple[int, int, object]] = {}
+        state = {"swap_idx": 0, "batch_id": 0, "host_forward": 0.0, "capture": 0.0}
 
         def flush(pending: List[TraceRequest], now: float) -> None:
             while (
@@ -337,18 +477,37 @@ class InferenceEngine:
                         self.pool, comp, capacity=self.max_batch_tokens
                     )
                     cache_hit = self.collate_cache.hits > h_before
-                    t0 = perf_counter()
-                    energies = self.model.predict_energy(
-                        gb, compiled=self.plan_cache
-                    )
-                    forward_dt = perf_counter() - t0
-                    state["host_forward"] += forward_dt
+                    if wall:
+                        # Same virtual-clock bookkeeping as simulate mode
+                        # (the collate above keeps cache_hit — and so the
+                        # whole schedule — identical); the forward itself
+                        # runs on the pinned worker and its energies are
+                        # filled into the records at drain time.
+                        sig, capture_dt = self._broadcast_plan(ex, gb)
+                        state["capture"] += capture_dt
+                        seg = self._submit_forward(
+                            ex, gb, sig, state["batch_id"], j % ex.n_workers
+                        )
+                        wall_meta[state["batch_id"]] = (
+                            len(records),
+                            len(batch),
+                            seg,
+                        )
+                    else:
+                        t0 = perf_counter()
+                        energies = self.model.predict_energy(
+                            gb, compiled=self.plan_cache
+                        )
+                        forward_dt = perf_counter() - t0
+                        state["host_forward"] += forward_dt
                     self.cache_hit_ema += self._hit_ema_alpha * (
                         float(cache_hit) - self.cache_hit_ema
                     )
                 service = self.service_models[j].batch_seconds(
                     tokens, edges, hit_rate=1.0 if cache_hit else 0.0
                 )
+                if wall:
+                    predicted.append(service)
                 if self.charge_host_forward:
                     service += forward_dt
                 start, finish = self.replicas[j].dispatch(
@@ -414,6 +573,42 @@ class InferenceEngine:
                 flush(pending, deadline)
                 pending, pending_tokens = [], 0
 
+        wall_fields = {}
+        if wall:
+            results = ex.drain()
+            # A drain is executor-wide: hand any interleaved async batches
+            # their results instead of dropping them.
+            self._collect_async(results, ex)
+            measured = [0.0] * state["batch_id"]
+            finishes: List[float] = []
+            for bid, (first, n, seg) in wall_meta.items():
+                res = results[bid]
+                if "error" in res:
+                    raise RuntimeError(
+                        f"micro-batch {bid} failed on worker:\n{res['error']}"
+                    )
+                energies = (
+                    ex.slab.take(seg) if seg is not None else res["energies"]
+                )
+                # Same ordering contract as the simulate path: the worker
+                # replayed the collated batch, so energies[pos] belongs to
+                # the pos-th record appended for this micro-batch.
+                for pos in range(n):
+                    records[first + pos].energy = float(energies[pos])
+                measured[bid] = res["finish"] - res["start"]
+                finishes.append(res["finish"])
+            wall_fields = dict(
+                mode="wall-clock",
+                backend=ex.backend,
+                n_workers=ex.n_workers,
+                batch_predicted_seconds=predicted,
+                batch_measured_seconds=measured,
+                measured_makespan=max(finishes) - wall_t0 if finishes else 0.0,
+                capture_seconds=state["capture"],
+                worker_deaths=ex.stats.worker_deaths - deaths0,
+                resubmitted=ex.stats.resubmitted - resub0,
+            )
+
         records.sort(key=lambda rec: rec.req_id)
         makespan = max((rec.finish for rec in records), default=0.0)
         return ServingReport(
@@ -428,7 +623,86 @@ class InferenceEngine:
             collate_hits=self.collate_cache.hits - hits0,
             collate_misses=self.collate_cache.misses - misses0,
             slo_seconds=self.slo_seconds,
+            **wall_fields,
         )
+
+    # -- asynchronous wall-clock requests -----------------------------------------
+
+    def submit(self, graph_id: int) -> int:
+        """Asynchronously request one molecule's energy; returns a request id.
+
+        The trace-free front door to the worker pool: requests accumulate
+        into a pending micro-batch that is shipped to a worker whenever
+        the next request would overflow the ``max_batch_tokens`` budget
+        (and unconditionally at :meth:`drain`).  The driver never blocks —
+        batching, plan broadcast and submission all happen inline; the
+        energies come back from :meth:`drain`.
+        """
+        if not 0 <= graph_id < len(self.pool):
+            raise ValueError(f"unknown graph id {graph_id}")
+        tokens = self.pool[graph_id].n_atoms
+        if tokens > self.max_batch_tokens:
+            raise ValueError(
+                f"graph {graph_id} has {tokens} tokens, over the "
+                f"{self.max_batch_tokens}-token micro-batch budget"
+            )
+        if self._async_pending and self._async_tokens + tokens > self.max_batch_tokens:
+            self._flush_async()
+        req_id = self._async_seq
+        self._async_seq += 1
+        self._async_pending.append((req_id, graph_id))
+        self._async_tokens += tokens
+        return req_id
+
+    def drain(self) -> Dict[int, float]:
+        """Finish all outstanding :meth:`submit` work; ``{req_id: energy}``.
+
+        Blocks until every in-flight micro-batch has a result (worker
+        deaths are handled by the executor: state is reinstalled and the
+        lost tasks resubmitted, so drain still completes).
+        """
+        self._flush_async()
+        if self._async_tasks:
+            ex = self._ensure_executor()
+            self._collect_async(ex.drain(), ex)
+        out, self._async_results = self._async_results, {}
+        return out
+
+    def _collect_async(self, results: Dict, ex) -> None:
+        """Fold drained executor results into the async result map."""
+        for task_id, (req_order, seg) in list(self._async_tasks.items()):
+            res = results.get(task_id)
+            if res is None:
+                continue
+            del self._async_tasks[task_id]
+            if "error" in res:
+                raise RuntimeError(
+                    f"async batch {task_id} failed on worker:\n{res['error']}"
+                )
+            energies = ex.slab.take(seg) if seg is not None else res["energies"]
+            for pos, req_id in enumerate(req_order):
+                self._async_results[req_id] = float(energies[pos])
+
+    def _flush_async(self) -> None:
+        """Pack the pending async window into one micro-batch and ship it."""
+        if not self._async_pending:
+            return
+        ex = self._ensure_executor()
+        self._install_model(ex)
+        comp = [graph_id for _, graph_id in self._async_pending]
+        gb = self.collate_cache.get(self.pool, comp, capacity=self.max_batch_tokens)
+        sig, _ = self._broadcast_plan(ex, gb)
+        # The cache collates members in sorted-graph_id order (stable), so
+        # energies[pos] belongs to the pos-th request in that order.
+        order = sorted(range(len(comp)), key=lambda k: comp[k])
+        req_order = [self._async_pending[k][0] for k in order]
+        task_id = f"async-{self._async_batches}"
+        seg = self._submit_forward(
+            ex, gb, sig, task_id, self._async_batches % ex.n_workers
+        )
+        self._async_tasks[task_id] = (req_order, seg)
+        self._async_batches += 1
+        self._async_pending, self._async_tokens = [], 0
 
 
 def compare_policies(

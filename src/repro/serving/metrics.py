@@ -74,7 +74,15 @@ class RequestRecord:
 
 @dataclass
 class ServingReport:
-    """Outcome of serving one trace under one scheduling policy."""
+    """Outcome of serving one trace under one scheduling policy.
+
+    ``mode="simulate"`` reports live entirely on the virtual clock.  In
+    ``mode="wall-clock"`` the same virtual-clock schedule (identical
+    admission, batching and placement) additionally executes on a real
+    worker pool, filling the measured fields: per-batch wall seconds
+    beside the cost model's predictions, the real makespan, and the
+    pool's robustness counters.
+    """
 
     policy: str
     records: List[RequestRecord] = field(default_factory=list)
@@ -87,6 +95,16 @@ class ServingReport:
     collate_hits: int = 0
     collate_misses: int = 0
     slo_seconds: Optional[float] = None
+    # -- wall-clock execution (mode="wall-clock") --------------------------------
+    mode: str = "simulate"
+    backend: Optional[str] = None
+    n_workers: int = 0
+    batch_predicted_seconds: List[float] = field(default_factory=list)
+    batch_measured_seconds: List[float] = field(default_factory=list)
+    measured_makespan: float = 0.0
+    capture_seconds: float = 0.0
+    worker_deaths: int = 0
+    resubmitted: int = 0
 
     # -- derived quantities -------------------------------------------------------
 
@@ -154,6 +172,55 @@ class ServingReport:
         lat = self.latencies()
         return float(np.mean(lat <= self.slo_seconds))
 
+    # -- wall-clock derived quantities --------------------------------------------
+
+    @property
+    def measured_throughput_rps(self) -> Optional[float]:
+        """Requests per second of *real* wall-clock (wall-clock mode only)."""
+        if self.measured_makespan <= 0:
+            return None
+        return self.n_requests / self.measured_makespan
+
+    @property
+    def cost_model_scale(self) -> Optional[float]:
+        """Median measured/predicted per-batch service ratio.
+
+        The cost model's absolute scale is calibrated to the paper's
+        hardware, not this host, so a single multiplicative correction is
+        fitted before judging its *shape* (see ``cost_model_p90_error``).
+        """
+        pred = np.asarray(self.batch_predicted_seconds)
+        meas = np.asarray(self.batch_measured_seconds)
+        n = min(pred.size, meas.size)
+        if n == 0:
+            return None
+        pred, meas = pred[:n], meas[:n]
+        ok = pred > 0
+        if not ok.any():
+            return None
+        return float(np.median(meas[ok] / pred[ok]))
+
+    @property
+    def cost_model_p90_error(self) -> Optional[float]:
+        """p90 relative error of scale-calibrated predictions vs measurements.
+
+        After dividing out :attr:`cost_model_scale`, this is how far the
+        cost model's per-batch service *shape* strays from reality — the
+        quantity the validation harness gates on.
+        """
+        scale = self.cost_model_scale
+        if scale is None or scale <= 0:
+            return None
+        pred = np.asarray(self.batch_predicted_seconds)
+        meas = np.asarray(self.batch_measured_seconds)
+        n = min(pred.size, meas.size)
+        pred, meas = pred[:n], meas[:n]
+        ok = (pred > 0) & (meas > 0)
+        if not ok.any():
+            return None
+        rel = np.abs(meas[ok] - scale * pred[ok]) / (scale * pred[ok])
+        return float(np.percentile(rel, 90.0))
+
     # -- presentation -------------------------------------------------------------
 
     def summary(self) -> str:
@@ -177,4 +244,26 @@ class ServingReport:
             lines.append(
                 f"SLO {self.slo_seconds * 1e3:.1f} ms    attainment {self.slo_attainment:.1%}"
             )
+        if self.mode == "wall-clock":
+            lines.append(
+                f"execution         {self.mode} on {self.n_workers} "
+                f"{self.backend} workers"
+            )
+            if self.measured_makespan > 0:
+                lines.append(
+                    f"measured          makespan {self.measured_makespan * 1e3:.2f} ms"
+                    f"  throughput {self.measured_throughput_rps:.1f} req/s"
+                    f"  capture {self.capture_seconds * 1e3:.2f} ms"
+                )
+            scale = self.cost_model_scale
+            if scale is not None:
+                lines.append(
+                    f"cost model        scale {scale:.3g}x"
+                    f"  p90 shape error {self.cost_model_p90_error:.1%}"
+                )
+            if self.worker_deaths or self.resubmitted:
+                lines.append(
+                    f"incidents         {self.worker_deaths} worker deaths, "
+                    f"{self.resubmitted} tasks resubmitted"
+                )
         return "\n".join(lines)

@@ -16,6 +16,7 @@ load balancer?".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -31,16 +32,29 @@ __all__ = ["DistributedRunReport", "DistributedTrainingRun"]
 
 @dataclass
 class DistributedRunReport:
-    """Loss trajectory annotated with simulated cluster time."""
+    """Loss trajectory annotated with simulated cluster time.
+
+    ``epoch_wall_seconds`` is the *measured* host wall-clock of each
+    epoch's step loop — on the serial path the cost of sequentialised
+    rank turns, on the executor path (``execution="parallel"``) the cost
+    of real concurrent ranks.  Comparing the two is the DDP half of the
+    cost-model validation harness.
+    """
 
     world_size: int
     variant: str
     epoch_losses: List[float] = field(default_factory=list)
     epoch_minutes: List[float] = field(default_factory=list)
+    epoch_wall_seconds: List[float] = field(default_factory=list)
+    execution: str = "serial"
 
     @property
     def total_minutes(self) -> float:
         return float(np.sum(self.epoch_minutes))
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return float(np.sum(self.epoch_wall_seconds))
 
     @property
     def final_loss(self) -> float:
@@ -70,6 +84,19 @@ class DistributedTrainingRun:
     variant:
         Kernel variant used for the timing model (the numerics of this
         repository's two variants are identical, so only time differs).
+    executor:
+        Optional :class:`~repro.parallel.BaseExecutor`.  When given, each
+        DDP step runs for real on the worker pool through
+        :class:`~repro.parallel.ParallelDDP` — per-rank forward/backward
+        on workers, gradient all-reduce through shared memory — instead
+        of sequentialised rank turns in this process.  The numerics
+        contract is the same either way (``ddp_compiled=False`` is
+        bitwise-identical to the serial ``Trainer.ddp_step``; compiled
+        rank steps agree to ~1e-15), and the simulated epoch minutes are
+        untouched; what changes is the *measured* ``epoch_wall_seconds``.
+    ddp_compiled:
+        Whether executor-side rank trainers use compiled loss plans
+        (ignored without ``executor``).
     """
 
     def __init__(
@@ -81,6 +108,8 @@ class DistributedTrainingRun:
         workload_model: MACEWorkloadModel = PAPER_MODEL,
         gpu: GPUSpec = A100,
         interconnect: InterconnectSpec = DRAGONFLY,
+        executor=None,
+        ddp_compiled: bool = True,
     ) -> None:
         if world_size <= 0:
             raise ValueError("world_size must be positive")
@@ -91,6 +120,15 @@ class DistributedTrainingRun:
         self.workload_model = workload_model
         self.gpu = gpu
         self.interconnect = interconnect
+        self.executor = executor
+        if executor is not None:
+            from ..parallel import ParallelDDP
+
+            self._pddp = ParallelDDP(
+                trainer, executor, self.world_size, compiled=ddp_compiled
+            )
+        else:
+            self._pddp = None
 
     # -- internals --------------------------------------------------------------
 
@@ -137,23 +175,37 @@ class DistributedTrainingRun:
 
     def run(self, n_epochs: int, verbose: bool = False) -> DistributedRunReport:
         """Train ``n_epochs`` of synchronous DDP; return the timed report."""
-        report = DistributedRunReport(self.world_size, self.variant)
+        report = DistributedRunReport(
+            self.world_size,
+            self.variant,
+            execution="serial" if self._pddp is None else "parallel",
+        )
         for epoch in range(n_epochs):
             plan = self._epoch_plan(epoch)
             capacity = self._epoch_bin_capacity
             n_steps = max(len(r) for r in plan)
             losses = []
+            wall_t0 = monotonic()
             for step in range(n_steps):
-                step_batches = [
-                    plan[rank][step]
+                # Full per-rank list, empties included: the executor path
+                # needs rank identity (rank -> pinned worker state), and
+                # both paths let empty ranks sit the step out.
+                rank_batches = [
+                    plan[rank][step] if step < len(plan[rank]) else []
                     for rank in range(self.world_size)
-                    if step < len(plan[rank]) and plan[rank][step]
                 ]
-                if not step_batches:
+                if not any(rank_batches):
                     continue
-                losses.append(
-                    self.trainer.ddp_step(step_batches, capacity=capacity)
-                )
+                if self._pddp is not None:
+                    losses.append(
+                        self._pddp.step(rank_batches, capacity=capacity)
+                    )
+                else:
+                    step_batches = [b for b in rank_batches if b]
+                    losses.append(
+                        self.trainer.ddp_step(step_batches, capacity=capacity)
+                    )
+            report.epoch_wall_seconds.append(monotonic() - wall_t0)
             self.trainer.scheduler.step()
             report.epoch_losses.append(float(np.mean(losses)))
             report.epoch_minutes.append(self._simulate_plan(plan) / 60.0)

@@ -321,3 +321,49 @@ class TestLintRules:
 
         src = Path(__file__).resolve().parent.parent / "src"
         assert lint_paths([str(src)]) == []
+
+
+class TestParallelModuleStateRule:
+    def test_flags_module_level_mutables(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "parallel/bad.py",
+            "import threading\n"
+            "CACHE = {}\n"
+            "PENDING = []\n"
+            "LOCK = threading.Lock()\n"
+            "def fine():\n"
+            "    local_state = {}\n"
+            "    return local_state\n",
+        )
+        assert [f.rule for f in findings] == ["parallel-module-state"] * 3
+        assert [f.lineno for f in findings] == [2, 3, 4]
+
+    def test_allows_constants_classes_and_all(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "parallel/good.py",
+            "__all__ = ['Thing']\n"
+            "DEFAULT_BYTES = 32 << 20\n"
+            "NAMES = ('a', 'b')\n"
+            "class Thing:\n"
+            "    def __init__(self):\n"
+            "        self.queue = []\n",
+        )
+        assert findings == []
+
+    def test_ignores_other_packages(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "serving/state.py",
+            "REGISTRY = {}\n",
+        )
+        assert findings == []
+
+    def test_pragma_allows(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "parallel/annotated.py",
+            "TABLE = {}  # lint: allow-parallel-module-state\n",
+        )
+        assert findings == []

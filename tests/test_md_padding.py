@@ -121,3 +121,21 @@ class TestPaddedCalculator:
         e1, f1 = calc.energy_and_forces(g2)
         assert e1 == pytest.approx(e0, abs=1e-12)
         np.testing.assert_allclose(f1, f0, atol=1e-12)
+
+    def test_rebuild_into_same_bucket_rehits_plan(self):
+        """A Verlet rebuild whose candidate set stays inside the same
+        capacity bucket re-hits the compiled plan: the candidate edges
+        are replay *inputs*, not plan constants, so no recapture."""
+        model = MACE(CFG, seed=0)
+        calc = MACECalculator(model, cutoff=CUTOFF)
+        plain = MACECalculator(model, cutoff=CUTOFF, pad_edges=False)
+        reference = []
+        for d in (2.90, 2.85, 2.50, 2.45):  # 2.85 -> 2.50 drifts > skin/2
+            e, f = calc.energy_and_forces(triangle(d))
+            e0, f0 = plain.energy_and_forces(triangle(d))
+            assert e == pytest.approx(e0, abs=1e-12)
+            np.testing.assert_allclose(f, f0, atol=1e-12)
+            reference.append(e)
+        assert calc.neighbor_cache.rebuilds >= 2  # the rebuild happened
+        assert calc.plan_cache.misses == 1  # one capture for the run
+        assert calc.plan_cache.hits == 3  # every later step replayed

@@ -1,0 +1,419 @@
+"""Tests for repro.parallel: slab allocator, executors, robustness, DDP,
+and the serving engine's wall-clock mode.
+
+The contracts under test (this PR's tentpole):
+
+- the slab allocator hands out aligned, coalescing segments and both slab
+  flavors view the same bytes;
+- every backend (serial / thread / process) produces the same task
+  results as inline eager execution;
+- a SIGKILLed pool worker is detected, respawned from its install log,
+  its in-flight tasks are resubmitted, and the run completes with the
+  incident counted;
+- ParallelDDP with eager rank steps is *bitwise* equal to the serial
+  ``Trainer.ddp_step`` (compiled rank steps agree to 1e-12);
+- ``mode="wall-clock"`` serving keeps the simulate-mode schedule and
+  numerics while filling measured timing fields.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import attach_labels, build_training_set
+from repro.distribution import BalancedDistributedSampler
+from repro.graphs.batch import collate
+from repro.mace import MACE, MACEConfig
+from repro.parallel import (
+    ForwardTask,
+    InstallModel,
+    LocalSlab,
+    ParallelDDP,
+    ProcessExecutor,
+    SerialExecutor,
+    ShmSlab,
+    SlabFull,
+    make_executor,
+)
+from repro.serving import InferenceEngine, build_request_pool, generate_trace
+from repro.training import DistributedTrainingRun, Trainer
+
+CFG = MACEConfig(num_channels=4, lmax_sh=2, l_atomic_basis=2, correlation=2)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def labeled():
+    return attach_labels(build_training_set(6, seed=31, max_atoms=40))
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MACE(CFG, seed=0)
+
+
+def _batch_payload(batch):
+    """Inline ForwardTask fallback payload from a collated batch."""
+    return {
+        "positions": batch.positions,
+        "species": batch.species,
+        "graph_index": batch.graph_index,
+        "edge_index": batch.edge_index,
+        "edge_shift": batch.edge_shift,
+        "energies": batch.energies,
+    }
+
+
+class TestSlab:
+    @pytest.mark.parametrize("cls", [LocalSlab, ShmSlab])
+    def test_alloc_view_take_free(self, cls):
+        slab = cls(1 << 16)
+        try:
+            h = slab.alloc((5, 3), np.float64)
+            view = slab.view(h)
+            view[...] = np.arange(15.0).reshape(5, 3)
+            again = slab.view(h)
+            np.testing.assert_array_equal(again, np.arange(15.0).reshape(5, 3))
+            taken = slab.take(h)  # copy + free
+            np.testing.assert_array_equal(taken, np.arange(15.0).reshape(5, 3))
+            h2 = slab.alloc((5, 3), np.float64)  # freed space is reusable
+            assert h2.offset == h.offset
+            slab.free(h2)
+            del view, again  # views must not outlive the slab (ownership rule)
+        finally:
+            slab.close()
+            if cls is ShmSlab:
+                slab.unlink()
+
+    def test_place_round_trips(self):
+        slab = LocalSlab(1 << 12)
+        arr = np.linspace(0.0, 1.0, 7)
+        h = slab.place(arr)
+        np.testing.assert_array_equal(slab.view(h), arr)
+
+    def test_alignment_and_coalescing(self):
+        slab = LocalSlab(1 << 12)
+        handles = [slab.alloc((13,), np.float64) for _ in range(4)]
+        assert all(h.offset % 64 == 0 for h in handles)
+        for h in handles:
+            slab.free(h)
+        # After freeing everything the free list coalesces back into one
+        # run: a near-full single allocation must fit again.
+        big = slab.alloc(((1 << 12) - 64,), np.uint8)
+        slab.free(big)
+
+    def test_slab_full(self):
+        slab = LocalSlab(1 << 10)
+        with pytest.raises(SlabFull):
+            slab.alloc((1 << 20,), np.float64)
+
+    def test_shm_attach_sees_driver_writes(self):
+        owner = ShmSlab(1 << 12)
+        try:
+            h = owner.place(np.array([1.0, 2.0, 4.0]))
+            worker_side = ShmSlab.attach(owner.name, 1 << 12)
+            seen = np.array(worker_side.view(h))  # copy: view dies with it
+            np.testing.assert_array_equal(seen, np.array([1.0, 2.0, 4.0]))
+            with pytest.raises(RuntimeError):
+                worker_side.alloc((4,), np.float64)  # owner-only
+            worker_side.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_forward_task_matches_eager(self, backend, model, labeled):
+        batch = collate(labeled[:3])
+        ref = model.predict_energy(batch)
+        with make_executor(backend, 2) as ex:
+            ex.install(InstallModel(version=0, model=model))
+            for t in range(3):
+                ex.submit(
+                    ForwardTask(
+                        task_id=t,
+                        version=0,
+                        batch=_batch_payload(batch),
+                        n_graphs=batch.n_graphs,
+                    ),
+                    worker=t,  # wraps modulo n_workers
+                )
+            results = ex.drain()
+        assert sorted(results) == [0, 1, 2]
+        for res in results.values():
+            assert "error" not in res
+            assert res["finish"] >= res["start"]
+            np.testing.assert_allclose(res["energies"], ref, atol=1e-10)
+
+    def test_duplicate_task_id_rejected(self, model, labeled):
+        batch = collate(labeled[:1])
+        with make_executor("serial", 1) as ex:
+            ex.install(InstallModel(version=0, model=model))
+            task = ForwardTask(
+                task_id="t", version=0, batch=_batch_payload(batch), n_graphs=1
+            )
+            ex.submit(task)
+            with pytest.raises(ValueError, match="duplicate"):
+                ex.submit(task)
+
+    def test_task_error_is_reported_not_raised(self):
+        with make_executor("serial", 1) as ex:
+            ex.submit(ForwardTask(task_id="boom", version=99, n_graphs=1))
+            results = ex.drain()
+        assert "error" in results["boom"]
+        assert ex.stats.errors == 1
+
+    def test_install_log_compaction(self, model):
+        ex = SerialExecutor(1)
+        ex.install(InstallModel(version=0, model=model))
+        ex.install(InstallModel(version=0, model=model))  # supersedes
+        ex.install(InstallModel(version=1, model=model))
+        assert len(ex._logs[0].messages) == 2  # one per live version
+        ex.shutdown()
+
+    def test_make_executor_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            make_executor("gpu", 2)
+
+
+class TestWorkerRobustness:
+    def test_sigkill_mid_work_recovers(self, model, labeled):
+        """Kill a pool worker with work in flight: the executor respawns
+        it from the install log, resubmits its tasks, and the drain
+        completes with every result correct and the incident counted."""
+        batch = collate(labeled[:3])
+        ref = model.predict_energy(batch)
+        ex = ProcessExecutor(2, poll_seconds=0.02)
+        try:
+            ex.install(InstallModel(version=0, model=model))
+            for t in range(4):
+                ex.submit(
+                    ForwardTask(
+                        task_id=t,
+                        version=0,
+                        batch=_batch_payload(batch),
+                        n_graphs=batch.n_graphs,
+                    ),
+                    worker=t,
+                )
+            victim = ex.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            # Pile more work onto the dead worker: these cannot complete
+            # before the respawn, so resubmission is guaranteed to fire.
+            for t in range(4, 7):
+                ex.submit(
+                    ForwardTask(
+                        task_id=t,
+                        version=0,
+                        batch=_batch_payload(batch),
+                        n_graphs=batch.n_graphs,
+                    ),
+                    worker=0,
+                )
+            results = ex.drain(timeout=120.0)
+            assert sorted(results) == list(range(7))
+            for res in results.values():
+                assert "error" not in res
+                np.testing.assert_allclose(res["energies"], ref, atol=1e-10)
+            assert ex.stats.worker_deaths >= 1
+            assert ex.stats.resubmitted >= 1
+            assert victim not in ex.worker_pids  # really replaced
+        finally:
+            ex.shutdown()
+
+
+class TestParallelDDP:
+    def _fresh(self, labeled, lr=0.01):
+        model = MACE(CFG, seed=0)
+        trainer = Trainer(model, labeled, lr=lr)
+        return model, trainer
+
+    def _serial_reference(self, labeled, plans, steps):
+        model, trainer = self._fresh(labeled)
+        losses = [trainer.ddp_step([list(b) for b in plan if b]) for plan in plans][
+            :steps
+        ]
+        return model, losses
+
+    def test_eager_ranks_bitwise_equal_serial(self, labeled):
+        plans = [[[0, 1], [2, 3]], [[4], [5, 0]], [[1, 3], []]]
+        ref_model, ref_losses = self._serial_reference(labeled, plans, 3)
+        model, trainer = self._fresh(labeled)
+        with make_executor("process", 2) as ex:
+            ddp = ParallelDDP(trainer, ex, world_size=2, compiled=False)
+            losses = [ddp.step(plan) for plan in plans]
+            ddp.close()
+        assert losses == ref_losses  # bitwise, not approx
+        for pa, pb in zip(ref_model.parameters(), model.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_compiled_ranks_match_serial(self, backend, labeled):
+        plans = [[[0, 1], [2, 3]], [[4, 5], [0, 2]]]
+        ref_model, ref_losses = self._serial_reference(labeled, plans, 2)
+        model, trainer = self._fresh(labeled)
+        with make_executor(backend, 2) as ex:
+            ddp = ParallelDDP(trainer, ex, world_size=2, compiled=True)
+            losses = [ddp.step(plan) for plan in plans]
+            ddp.close()
+        for a, b in zip(losses, ref_losses):
+            assert a == pytest.approx(b, abs=1e-12)
+        for pa, pb in zip(ref_model.parameters(), model.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+        assert len(ddp.step_seconds) == 2
+
+    def test_empty_ranks_sit_out(self, labeled):
+        model, trainer = self._fresh(labeled)
+        with make_executor("serial", 2) as ex:
+            ddp = ParallelDDP(trainer, ex, world_size=3, compiled=False)
+            loss = ddp.step([[0, 1], [], [2]])  # rank 1 sits out
+            assert np.isfinite(loss)
+            with pytest.raises(ValueError, match="no non-empty"):
+                ddp.step([[], [], []])
+            ddp.close()
+
+    def test_distributed_run_executor_path(self, labeled):
+        """DistributedTrainingRun(executor=...) matches the serial run
+        bitwise (eager ranks) while recording measured wall seconds."""
+        sizes = [g.n_atoms for g in labeled]
+
+        def run(executor=None, **kw):
+            trainer = Trainer(MACE(CFG, seed=0), labeled, lr=0.01)
+            sampler = BalancedDistributedSampler(sizes, 96, num_replicas=2, seed=0)
+            return DistributedTrainingRun(
+                trainer, sampler, 2, executor=executor, **kw
+            ).run(2)
+
+        ref = run()
+        with make_executor("process", 2) as ex:
+            par = run(executor=ex, ddp_compiled=False)
+        assert par.execution == "parallel" and ref.execution == "serial"
+        assert par.epoch_losses == ref.epoch_losses  # bitwise
+        assert par.epoch_minutes == ref.epoch_minutes  # simulation untouched
+        assert len(par.epoch_wall_seconds) == 2
+        assert all(w > 0 for w in par.epoch_wall_seconds)
+        assert par.total_wall_seconds == pytest.approx(
+            sum(par.epoch_wall_seconds)
+        )
+
+
+class TestEngineWallClock:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return build_request_pool(6, seed=3, max_atoms=40)
+
+    @pytest.fixture(scope="class")
+    def trace(self, pool):
+        return generate_trace(pool, 25, rate=400.0, seed=4)
+
+    def _simulate(self, pool, trace):
+        eng = InferenceEngine(MACE(CFG, seed=0), pool, n_replicas=2, max_batch_tokens=96)
+        return eng.serve(trace)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_wall_clock_keeps_schedule_and_numerics(self, backend, pool, trace):
+        sim = self._simulate(pool, trace)
+        with InferenceEngine(
+            MACE(CFG, seed=0),
+            pool,
+            n_replicas=2,
+            max_batch_tokens=96,
+            mode="wall-clock",
+            backend=backend,
+            n_workers=2,
+        ) as eng:
+            rep = eng.serve(trace)
+        # Identical virtual schedule...
+        assert [(r.req_id, r.batch_id, r.replica) for r in rep.records] == [
+            (r.req_id, r.batch_id, r.replica) for r in sim.records
+        ]
+        np.testing.assert_allclose(
+            [r.finish for r in rep.records],
+            [r.finish for r in sim.records],
+            atol=1e-12,
+        )
+        # ...and matching energies from the worker-side replays.
+        e_wall = np.array([r.energy for r in rep.records])
+        e_sim = np.array([r.energy for r in sim.records])
+        np.testing.assert_allclose(e_wall, e_sim, atol=1e-12)
+        # Measured fields are filled and sane.
+        assert rep.mode == "wall-clock" and rep.backend == backend
+        assert len(rep.batch_measured_seconds) == rep.n_batches
+        assert len(rep.batch_predicted_seconds) == rep.n_batches
+        assert all(m > 0 for m in rep.batch_measured_seconds)
+        assert rep.measured_makespan > 0
+        assert rep.measured_throughput_rps > 0
+        assert rep.cost_model_scale > 0
+        assert "wall-clock" in rep.summary()
+
+    def test_async_submit_drain(self, pool):
+        with InferenceEngine(
+            MACE(CFG, seed=0),
+            pool,
+            max_batch_tokens=96,
+            mode="wall-clock",
+            backend="thread",
+            n_workers=2,
+        ) as eng:
+            wanted = [0, 3, 5, 1, 1, 2]  # includes a duplicate graph
+            ids = [eng.submit(g) for g in wanted]
+            out = eng.drain()
+            assert sorted(out) == sorted(ids)
+            for req_id, g in zip(ids, wanted):
+                ref = float(eng.predict([pool[g]])[0])
+                assert out[req_id] == pytest.approx(ref, abs=1e-10)
+            assert eng.drain() == {}  # nothing outstanding
+
+    def test_submit_validates_graph(self, pool):
+        with InferenceEngine(
+            MACE(CFG, seed=0),
+            pool,
+            mode="wall-clock",
+            backend="serial",
+        ) as eng:
+            with pytest.raises(ValueError, match="unknown graph"):
+                eng.submit(len(pool))
+
+    def test_wall_clock_needs_execute_and_plans(self, pool):
+        with pytest.raises(ValueError, match="wall-clock"):
+            InferenceEngine(
+                MACE(CFG, seed=0), pool, mode="wall-clock", execute=False
+            )
+        with pytest.raises(ValueError, match="wall-clock"):
+            InferenceEngine(
+                MACE(CFG, seed=0), pool, mode="wall-clock", plan_cache=None
+            )
+        with pytest.raises(ValueError, match="unknown mode"):
+            InferenceEngine(MACE(CFG, seed=0), pool, mode="realtime")
+
+    def test_worker_death_mid_trace_surfaces_in_report(self, pool, trace):
+        """SIGKILL a pool worker with a trace's batches in flight: the
+        serve completes, energies still match, and the report carries the
+        incident counters."""
+        sim = self._simulate(pool, trace)
+        with InferenceEngine(
+            MACE(CFG, seed=0),
+            pool,
+            n_replicas=2,
+            max_batch_tokens=96,
+            mode="wall-clock",
+            backend="process",
+            n_workers=2,
+        ) as eng:
+            warm = eng.serve(trace)  # installs plans, warms workers
+            assert warm.worker_deaths == 0
+            ex = eng._ensure_executor()
+            os.kill(ex.worker_pids[0], signal.SIGKILL)
+            time.sleep(0.05)  # let the process actually die
+            rep = eng.serve(trace)
+        e_wall = np.array([r.energy for r in rep.records])
+        e_sim = np.array([r.energy for r in sim.records])
+        np.testing.assert_allclose(e_wall, e_sim, atol=1e-12)
+        assert rep.worker_deaths >= 1
+        assert rep.resubmitted >= 1
+        assert "worker deaths" in rep.summary()
