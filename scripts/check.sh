@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo check: invariant linter, tier-1 test suite, plus the pipeline,
-# kernel, serving, runtime and parallel smoke benchmarks, so correctness
-# *and* perf regressions in the graph pipeline, the model-forward hot
-# kernels, the serving scheduler, the compiled-plan runtime and the
-# multicore worker pool are catchable from one command.  The linter runs first: it is the cheapest check and its
+# kernel, serving, runtime, parallel and data smoke benchmarks, so
+# correctness *and* perf regressions in the graph pipeline, the
+# model-forward hot kernels, the serving scheduler, the compiled-plan
+# runtime, the multicore worker pool and the streaming out-of-core data
+# path are catchable from one command.  The linter runs first: it is the cheapest check and its
 # findings (mutated Function inputs, unguarded id() keys, scatter loops
 # in hot paths) usually explain downstream test failures.
 set -euo pipefail
@@ -17,4 +18,5 @@ python benchmarks/bench_kernels.py --smoke
 python benchmarks/bench_serving.py --smoke
 python benchmarks/bench_runtime.py --smoke
 python benchmarks/bench_parallel.py --smoke
+python benchmarks/bench_data.py --smoke
 echo "check: OK"

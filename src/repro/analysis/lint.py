@@ -463,6 +463,63 @@ class ParallelModuleStateRule(Rule):
             )
 
 
+class EpochPlanPayloadRule(Rule):
+    name = "epoch-plan-payload-read"
+    explanation = (
+        "epoch planning must consume the size index only (n_atoms, n_edges, "
+        "system_id, shard_ids): touching structure payloads — positions, "
+        "edge arrays, forces, or ShardedDataset.load — makes planning cost "
+        "scale with payload bytes and defeats out-of-core streaming"
+    )
+
+    # Attribute reads that materialize structure payload data.
+    _PAYLOAD_ATTRS = {
+        "positions",
+        "edge_index",
+        "edge_shift",
+        "forces",
+        "cell",
+        "cells",
+    }
+    # Method calls that read shard payloads / per-structure geometry.
+    _PAYLOAD_CALLS = {"load", "displacement_vectors"}
+    # ``.load`` on these roots is metadata I/O (np.load of the size
+    # index, json.load of index metadata), not a payload read.
+    _IO_MODULES = {"np", "numpy", "json", "pickle"}
+
+    def visit(self, tree, ctx):
+        in_distribution = "distribution" in ctx.path.parts
+        seen: Set[Tuple[int, str]] = set()
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # Every function in repro/distribution plans from sizes; any
+            # function named plan_* elsewhere claims the same contract.
+            if not (in_distribution or func.name.startswith("plan_")):
+                continue
+            for finding in self._check(func):
+                if finding not in seen:
+                    seen.add(finding)
+                    yield finding
+
+    def _check(self, func):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                fn = node.func
+                if fn.attr in self._PAYLOAD_CALLS and not (
+                    isinstance(fn.value, ast.Name) and fn.value.id in self._IO_MODULES
+                ):
+                    yield node.lineno, (
+                        f"epoch-planning code calls .{fn.attr}() — a structure "
+                        "payload read; plan from the size index instead"
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr in self._PAYLOAD_ATTRS:
+                yield node.lineno, (
+                    f"epoch-planning code reads .{node.attr} — a structure "
+                    "payload field; plan from the size index instead"
+                )
+
+
 RULES: List[Rule] = [
     HotLoopScatterRule(),
     ForwardMutatesInputRule(),
@@ -471,6 +528,7 @@ RULES: List[Rule] = [
     IdKeyedDictRule(),
     SupportsOutRetainRule(),
     ParallelModuleStateRule(),
+    EpochPlanPayloadRule(),
 ]
 
 

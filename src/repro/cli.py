@@ -21,6 +21,12 @@ Commands
     on a synthetic batch, verify them statically, and print the
     liveness/aliasing report with legal buffer-donation pairs — the
     artifact the arena-planning work consumes.
+``dataset-pack``
+    Generate, label and pack a synthetic training set into the sharded
+    on-disk format (``repro.data.store``).
+``dataset-report``
+    Describe a packed dataset from its size index alone — no shard
+    payload is opened unless ``--verify`` asks for the deep check.
 """
 
 from __future__ import annotations
@@ -331,6 +337,75 @@ def _cmd_validate_cost_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dataset_pack(args: argparse.Namespace) -> int:
+    from .data import pack_training_set
+
+    t0 = time.time()
+    ds = pack_training_set(
+        args.path,
+        args.samples,
+        systems=args.systems,
+        seed=args.seed,
+        max_atoms=args.max_atoms,
+        shard_size=args.shard_size,
+        label=not args.unlabeled,
+    )
+    dt = time.time() - t0
+    stats = ds.statistics
+    print(
+        f"packed {len(ds):,} structures into {ds.n_shards} shard(s) "
+        f"({ds.nbytes / 1e6:.2f} MB payload) at {args.path} in {dt:.2f} s"
+    )
+    print(
+        f"  {stats.total_atoms:,} atoms, {stats.total_edges:,} edges, "
+        f"{stats.n_labeled:,} labeled; per-atom energy "
+        f"{stats.energy_mean_per_atom:.4f} ± {stats.energy_std_per_atom:.4f}"
+    )
+    if args.verify:
+        ds.verify()
+        print("  deep verify: OK (payload checksums + statistics cross-check)")
+    ds.close()
+    return 0
+
+
+def _cmd_dataset_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .data.store import DatasetStatistics, _read_meta, load_size_index
+
+    meta = _read_meta(Path(args.path))
+    index = load_size_index(args.path, meta=meta)
+    stats = DatasetStatistics.from_dict(meta["statistics"])
+    payload_bytes = sum(rec["nbytes"] for rec in meta["shards"])
+    print(f"{args.path}: {meta['format']} v{meta['version']}")
+    print(
+        f"  {index.n_samples:,} structures in {len(meta['shards'])} shard(s), "
+        f"{payload_bytes / 1e6:.2f} MB payload, shard size {meta['shard_size']}"
+    )
+    print(
+        f"  edges {'built' if meta['edges_built'] else 'absent'} "
+        f"(cutoff {meta['cutoff']}), "
+        f"{stats.n_labeled:,}/{index.n_samples:,} labeled"
+    )
+    print(
+        f"  {index.total_tokens:,} atoms, {index.total_edges:,} edges; "
+        f"per-atom energy {stats.energy_mean_per_atom:.4f} "
+        f"± {stats.energy_std_per_atom:.4f}"
+    )
+    for name, count in index.system_counts().items():
+        print(f"    {name:<24s} {count:6,d}")
+    if args.verify:
+        from .data import ShardedDataset
+
+        ds = ShardedDataset(args.path)
+        ds.verify()
+        print(f"  deep verify: OK ({ds.maps_opened} shard maps opened)")
+        ds.close()
+    else:
+        print("  (size index only — no shard payload was read)")
+    return 0
+
+
 def _post_optimization_report(plan, report) -> str:
     """What the optimizing passes actually consumed on a compiled plan.
 
@@ -583,6 +658,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_val.add_argument("--seed", type=int, default=0)
     p_val.set_defaults(fn=_cmd_validate_cost_model)
+
+    p_dpack = sub.add_parser(
+        "dataset-pack",
+        help="pack a synthetic training set into the sharded on-disk format",
+        description=(
+            "Generate a synthetic training corpus, attach reference labels "
+            "through the vectorized batch path, and pack it into a sharded "
+            "mmap dataset directory (repro.data.store).  Welford statistics "
+            "accumulate during the single pack pass."
+        ),
+    )
+    p_dpack.add_argument("path", help="output dataset directory")
+    p_dpack.add_argument("--samples", type=int, default=64)
+    p_dpack.add_argument(
+        "--systems", nargs="+", default=None, help="composite system subset"
+    )
+    p_dpack.add_argument(
+        "--shard-size", type=int, default=64, help="structures per shard"
+    )
+    p_dpack.add_argument("--max-atoms", type=int, default=64)
+    p_dpack.add_argument(
+        "--unlabeled", action="store_true", help="skip reference labeling"
+    )
+    p_dpack.add_argument(
+        "--verify", action="store_true", help="run the deep check after packing"
+    )
+    p_dpack.add_argument("--seed", type=int, default=0)
+    p_dpack.set_defaults(fn=_cmd_dataset_pack)
+
+    p_drep = sub.add_parser(
+        "dataset-report",
+        help="describe a packed dataset from its size index alone",
+        description=(
+            "Print a packed dataset's composition, shard layout and "
+            "pack-time statistics reading only index.json and sizes.npz — "
+            "the same payload-free view epoch planning uses.  --verify "
+            "additionally maps every shard and checks full payload "
+            "checksums against the index."
+        ),
+    )
+    p_drep.add_argument("path", help="dataset directory")
+    p_drep.add_argument(
+        "--verify",
+        action="store_true",
+        help="deep check: payload checksums + statistics cross-check",
+    )
+    p_drep.set_defaults(fn=_cmd_dataset_report)
     return parser
 
 

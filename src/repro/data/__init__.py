@@ -8,8 +8,22 @@ from .statistics import (
     Table3Row,
     figure5_statistics,
     measured_mean_degrees,
+    per_atom_energy_statistics,
     table3,
 )
+from .store import (
+    DatasetStatistics,
+    ShardedDataset,
+    ShardedDatasetError,
+    ShardTruncatedError,
+    ShardWriter,
+    SizeIndex,
+    StaleIndexError,
+    load_size_index,
+    pack_graphs,
+    pack_training_set,
+)
+from .stream import StreamingLoader, StreamStats
 
 __all__ = [
     "SYSTEMS",
@@ -28,4 +42,17 @@ __all__ = [
     "SystemHistogram",
     "figure5_statistics",
     "measured_mean_degrees",
+    "per_atom_energy_statistics",
+    "DatasetStatistics",
+    "ShardWriter",
+    "ShardedDataset",
+    "ShardedDatasetError",
+    "ShardTruncatedError",
+    "StaleIndexError",
+    "SizeIndex",
+    "load_size_index",
+    "pack_graphs",
+    "pack_training_set",
+    "StreamingLoader",
+    "StreamStats",
 ]

@@ -87,15 +87,73 @@ class ReferencePotential:
         pair_e *= self._envelope(r)
         return float(e + 0.5 * pair_e.sum())
 
+    def energies(self, graphs: Iterable[MolecularGraph]) -> np.ndarray:
+        """Energies of many graphs in one vectorized pass.
+
+        Labeling one at a time re-runs ``np.unique`` over pair codes and
+        one ``exp`` launch per (graph, species pair); here the edge
+        arrays of all graphs are concatenated so each species pair costs
+        a single vectorized evaluation over the whole batch.  The pair
+        sum is still reduced per graph over the same contiguous edge
+        slice (and the elementwise terms are identical ops), so results
+        match :meth:`energy` to summation reassociation of the species
+        term (~1e-15 relative; asserted at 1e-12 in the tests).
+        """
+        graphs = list(graphs)
+        n = len(graphs)
+        if n == 0:
+            return np.zeros(0)
+        for i, g in enumerate(graphs):
+            if not g.has_edges:
+                raise ValueError(f"graph {i} needs a neighbor list for pair terms")
+        n_atoms = np.array([g.n_atoms for g in graphs], dtype=np.int64)
+        uz, inv = np.unique(
+            np.concatenate([g.species for g in graphs]), return_inverse=True
+        )
+        e0 = np.array([self._species_energy(int(z)) for z in uz])
+        atom_graph = np.repeat(np.arange(n), n_atoms)
+        out = np.bincount(atom_graph, weights=e0[inv], minlength=n)
+        n_edges = np.array([g.n_edges for g in graphs], dtype=np.int64)
+        if n_edges.sum() == 0:
+            return out
+        vec = np.concatenate([g.displacement_vectors() for g in graphs])
+        r = np.linalg.norm(vec, axis=1)
+        z1 = np.concatenate([g.species[g.edge_index[0]] for g in graphs])
+        z2 = np.concatenate([g.species[g.edge_index[1]] for g in graphs])
+        lo = np.minimum(z1, z2)
+        hi = np.maximum(z1, z2)
+        pair_code = lo * 1000 + hi
+        pair_e = np.zeros_like(r)
+        for code in np.unique(pair_code):
+            mask = pair_code == code
+            depth, r0, width = self._pair_params(int(code // 1000), int(code % 1000))
+            x = np.minimum(np.exp(-width * (r[mask] - r0)), 3.0)
+            pair_e[mask] = depth * (x * x - 2.0 * x)
+        pair_e *= self._envelope(r)
+        edge_off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(n_edges, out=edge_off[1:])
+        for i in range(n):
+            out[i] += 0.5 * pair_e[edge_off[i] : edge_off[i + 1]].sum()
+        return out
+
 
 def attach_labels(
     graphs: Iterable[MolecularGraph],
     potential: ReferencePotential | None = None,
+    batch: bool = False,
 ) -> List[MolecularGraph]:
-    """Label each graph's ``energy`` with the reference potential, in place."""
+    """Label each graph's ``energy`` with the reference potential, in place.
+
+    ``batch=True`` routes through the vectorized
+    :meth:`ReferencePotential.energies` — the path the shard packer uses,
+    one species-pair kernel launch per batch instead of per graph.
+    """
     potential = potential or ReferencePotential()
-    out = []
-    for g in graphs:
+    out = list(graphs)
+    if batch:
+        for g, e in zip(out, potential.energies(out)):
+            g.energy = float(e)
+        return out
+    for g in out:
         g.energy = potential.energy(g)
-        out.append(g)
     return out

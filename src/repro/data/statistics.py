@@ -113,4 +113,25 @@ def measured_mean_degrees(stats: Dict[str, SystemHistogram]) -> Dict[str, float]
     }
 
 
+def per_atom_energy_statistics(energy, n_atoms) -> tuple:
+    """Direct (two-pass) per-atom energy mean/std over labeled samples.
+
+    The reference computation that the shard packer's incremental Welford
+    statistics (:class:`repro.data.store.DatasetStatistics`) are verified
+    against — same population std (ddof=0) convention as
+    ``EnergyScaler.fit``.  ``NaN`` energies mark unlabeled samples.
+
+    Returns ``(mean, std, n_labeled)``; mean/std are 0.0 when nothing is
+    labeled.
+    """
+    energy = np.asarray(energy, dtype=np.float64)
+    n_atoms = np.asarray(n_atoms, dtype=np.float64)
+    labeled = np.isfinite(energy)
+    if not labeled.any():
+        return 0.0, 0.0, 0
+    per_atom = energy[labeled] / n_atoms[labeled]
+    return float(per_atom.mean()), float(per_atom.std()), int(labeled.sum())
+
+
 __all__.append("measured_mean_degrees")
+__all__.append("per_atom_energy_statistics")

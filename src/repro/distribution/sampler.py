@@ -39,7 +39,22 @@ class _EpochPlanMixin:
     (bin ``i`` goes to rank ``i % G``), capacity extraction and batch
     materialization — lives here so there is exactly one source of
     truth for how plans map onto ranks.
+
+    When ``shard_ids`` is set (per-sample shard assignment from a
+    :class:`repro.data.store.SizeIndex`), each rank's bins are
+    additionally reordered by dominant shard (stable sort), so a
+    streaming consumer walks the shard files mostly sequentially and a
+    bounded resident-shard budget stays effective.  Everything here
+    consumes only per-sample *sizes* and ``shard_ids`` — never structure
+    payloads (enforced by the ``epoch-plan-payload-read`` lint rule).
     """
+
+    shard_ids = None  # optional per-sample shard assignment (size-index only)
+
+    def _dominant_shard(self, items: List[int]) -> int:
+        ids = self.shard_ids[np.asarray(items, dtype=np.int64)]
+        vals, counts = np.unique(ids, return_counts=True)
+        return int(vals[np.argmax(counts)])
 
     def all_rank_bins(self, epoch: int) -> List[List[Tuple[List[int], int]]]:
         """Per-rank ``(indices, capacity)`` bin lists from one planning
@@ -49,7 +64,31 @@ class _EpochPlanMixin:
         ]
         for i, b in enumerate(self.plan_epoch(epoch)):
             out[i % self.num_replicas].append((b.items, int(b.capacity)))
+        if self.shard_ids is not None:
+            for rank_bins in out:
+                rank_bins.sort(
+                    key=lambda bin_: self._dominant_shard(bin_[0]) if bin_[0] else -1
+                )
         return out
+
+    def plan_rank_shards(self, epoch: int, rank: int) -> List[int]:
+        """Shard ids rank ``rank`` touches this epoch, in first-use order.
+
+        The per-rank prefetch schedule: computed from ``shard_ids`` alone
+        (no payload reads), it tells a streaming consumer which shard
+        files this rank's epoch walks and in what order.
+        """
+        if self.shard_ids is None:
+            raise ValueError("sampler has no shard_ids (size index not attached)")
+        seen: List[int] = []
+        have = set()
+        for items, _ in self.plan_rank_bins(epoch, rank):
+            for sid in np.unique(self.shard_ids[np.asarray(items, dtype=np.int64)]):
+                sid = int(sid)
+                if sid not in have:
+                    have.add(sid)
+                    seen.append(sid)
+        return seen
 
     def plan_rank_bins(
         self, epoch: int, rank: int
@@ -106,6 +145,11 @@ class BalancedDistributedSampler(_EpochPlanMixin):
         §7 acknowledges; shuffling only perturbs tie-breaking.)
     seed:
         Base seed combined with the epoch number.
+    shard_ids:
+        Optional per-sample shard assignment (e.g.
+        ``ShardedDataset.size_index.shard_id``).  Enables the mixin's
+        shard-locality bin ordering and ``plan_rank_shards`` — the
+        streaming story's planning half, still size-index-only.
     """
 
     def __init__(
@@ -116,6 +160,7 @@ class BalancedDistributedSampler(_EpochPlanMixin):
         shuffle: bool = True,
         seed: int = 0,
         size_metric: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        shard_ids: Optional[Sequence[int]] = None,
     ) -> None:
         self.sizes = np.asarray(sizes, dtype=np.int64)
         if size_metric is not None:
@@ -126,6 +171,11 @@ class BalancedDistributedSampler(_EpochPlanMixin):
         self.num_replicas = int(num_replicas)
         self.shuffle = shuffle
         self.seed = seed
+        if shard_ids is not None:
+            shard_ids = np.asarray(shard_ids, dtype=np.int64)
+            if shard_ids.shape != self.sizes.shape:
+                raise ValueError("shard_ids must have one entry per sample")
+        self.shard_ids = shard_ids
 
     def plan_epoch(self, epoch: int) -> List[Bin]:
         """Pack the whole epoch into bins (identical on every rank)."""

@@ -19,10 +19,24 @@ segment every rank reads; each rank owns a private gradient segment it
 writes.  Ranks are pinned to workers (``rank % n_workers``) so each
 worker's trainer state — collate cache, compiled loss plans, scatter
 memos — is reused across steps exactly like a persistent DDP rank.
+
+Pipelined broadcast: with ``pipeline_broadcast=True`` (default) the
+parameter broadcast of step *k+1* overlaps the tail of step *k* — after
+the optimizer step, a background thread flattens the updated parameters
+into the *standby* half of a double-buffered pair of slab segments while
+the driver returns to the caller (epoch bookkeeping, loss logging,
+simulation).  The next ``step()`` joins the thread and flips buffers
+instead of flattening inline.  Parity is untouched: the staged bytes are
+exactly the flatten the un-pipelined path would produce at step entry,
+because between steps only ``optimizer.step`` mutates parameter data
+(EMA updates touch shadow copies only) — guarded by the optimizer's step
+counter; a mismatch (e.g. an extra serial step between parallel steps)
+discards the staged buffer and re-flattens inline.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import List, Optional, Sequence
 
@@ -54,6 +68,12 @@ class ParallelDDP:
         Whether worker rank trainers use compiled loss plans.  ``False``
         gives bitwise equality with the serial eager trainer; ``True``
         (default) is faster and agrees to ~1e-15.
+    pipeline_broadcast:
+        Stage the next step's parameter broadcast on a background thread
+        during the current step's tail (see module docstring).  Requires
+        slab segments; silently off on the inline fallback.  The staged
+        bytes equal the inline flatten, so parity guarantees are
+        unchanged.
     """
 
     def __init__(
@@ -62,6 +82,7 @@ class ParallelDDP:
         executor: BaseExecutor,
         world_size: int,
         compiled: bool = True,
+        pipeline_broadcast: bool = True,
     ) -> None:
         if world_size <= 0:
             raise ValueError("world_size must be positive")
@@ -92,18 +113,42 @@ class ParallelDDP:
                 ),
                 worker=rank % executor.n_workers,
             )
-        # Parameter broadcast segment + one gradient segment per rank.
+        # Double-buffered parameter broadcast segments + one gradient
+        # segment per rank.
         slab = executor.slab
+        allocated: List = []
         try:
-            self._param_seg = slab.alloc((self._n_flat,), np.float64)
-            self._grad_segs = [
-                slab.alloc((self._n_flat,), np.float64)
-                for _ in range(self.world_size)
-            ]
+            self._param_segs = []
+            for _ in range(2):
+                seg = slab.alloc((self._n_flat,), np.float64)
+                allocated.append(seg)
+                self._param_segs.append(seg)
+            self._grad_segs = []
+            for _ in range(self.world_size):
+                seg = slab.alloc((self._n_flat,), np.float64)
+                allocated.append(seg)
+                self._grad_segs.append(seg)
         except SlabFull:
             # Inline fallback: params ride in each task, grads in results.
-            self._param_seg = None
+            for seg in allocated:
+                slab.free(seg)
+            self._param_segs = None
             self._grad_segs = [None] * self.world_size
+        self.pipeline_broadcast = bool(pipeline_broadcast) and (
+            self._param_segs is not None
+        )
+        self._param_views = (
+            [slab.view(seg) for seg in self._param_segs]
+            if self._param_segs is not None
+            else None
+        )
+        self._active = 0  # which param segment the *next* step broadcasts
+        self._stage_thread: Optional[threading.Thread] = None
+        self._staged = False
+        self._stage_error: Optional[BaseException] = None
+        self._staged_t = -1  # optimizer.t the staged params correspond to
+        self.staged_broadcasts = 0  # steps served from a staged buffer
+        self.inline_broadcasts = 0  # steps that flattened at step entry
 
     # -- one step ----------------------------------------------------------------
 
@@ -121,9 +166,23 @@ class ParallelDDP:
                 f"{len(rank_batches)} rank batches for world size {self.world_size}"
             )
         t0 = time.monotonic()
-        flat = flatten_params(self.params)
-        if self._param_seg is not None:
-            self.executor.slab.view(self._param_seg)[...] = flat
+        if self._param_segs is not None:
+            self._join_stage()
+            if self._staged and self._staged_t == self.trainer.optimizer.t:
+                # Step k's tail already flattened the updated params into
+                # the standby buffer; flip instead of flattening.
+                self._active = 1 - self._active
+                self.staged_broadcasts += 1
+            else:
+                self._param_views[self._active][...] = flatten_params(self.params)
+                self.inline_broadcasts += 1
+            self._staged = False
+            params_ref = self._param_segs[self._active]
+            flat = None
+        else:
+            flat = flatten_params(self.params)
+            params_ref = flat
+            self.inline_broadcasts += 1
         active = [
             (rank, tuple(batch))
             for rank, batch in enumerate(rank_batches)
@@ -137,7 +196,7 @@ class ParallelDDP:
                 rank=rank,
                 batch_indices=batch,
                 capacity=capacity,
-                params=self._param_seg if self._param_seg is not None else flat,
+                params=params_ref,
                 grads=self._grad_segs[rank],
             )
             self.executor.submit(task, worker=rank % self.executor.n_workers)
@@ -168,14 +227,52 @@ class ParallelDDP:
             offset += n
         self.trainer.optimizer.step()
         self.trainer.ema.update()
+        if self.pipeline_broadcast:
+            self._start_stage()
         self.step_seconds.append(time.monotonic() - t0)
         return float(np.mean(losses))
 
+    # -- pipelined broadcast -----------------------------------------------------
+
+    def _start_stage(self) -> None:
+        """Flatten the post-step parameters into the standby buffer, off
+        the driver's critical path.  Safe because nothing mutates
+        ``p.data`` until the next ``optimizer.step`` (the EMA only writes
+        its shadow dict), and the next ``step()`` joins before reading."""
+        standby_view = self._param_views[1 - self._active]
+
+        def _stage() -> None:
+            try:
+                standby_view[...] = flatten_params(self.params)
+            except BaseException as exc:  # re-flatten inline at next step
+                self._stage_error = exc
+
+        self._stage_error = None
+        self._staged_t = self.trainer.optimizer.t
+        self._stage_thread = threading.Thread(
+            target=_stage, name="ddp-broadcast-stage", daemon=True
+        )
+        self._stage_thread.start()
+        self._staged = True
+
+    def _join_stage(self) -> None:
+        if self._stage_thread is not None:
+            self._stage_thread.join()
+            self._stage_thread = None
+        if self._stage_error is not None:
+            self._staged = False
+            self._stage_error = None
+
     def close(self) -> None:
         """Release the slab segments (the executor stays usable)."""
-        if self._param_seg is not None:
-            self.executor.slab.free(self._param_seg)
+        self._join_stage()
+        self._staged = False
+        if self._param_segs is not None:
+            for seg in self._param_segs:
+                self.executor.slab.free(seg)
             for seg in self._grad_segs:
                 self.executor.slab.free(seg)
-            self._param_seg = None
+            self._param_segs = None
+            self._param_views = None
             self._grad_segs = [None] * self.world_size
+        self.pipeline_broadcast = False

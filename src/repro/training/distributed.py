@@ -151,15 +151,31 @@ class DistributedTrainingRun:
         return plan
 
     def _simulate_plan(self, plan: List[List[List[int]]]) -> float:
-        """Simulated epoch seconds for this exact batch plan."""
-        graphs = self.trainer.graphs
+        """Simulated epoch seconds for this exact batch plan.
+
+        With an out-of-core trainer the per-sample sizes come from the
+        dataset's size index — simulation cost scales with the index,
+        not payload bytes (no shard maps are opened here).
+        """
+        dataset = getattr(self.trainer, "dataset", None)
+        if dataset is not None:
+            atoms_of = dataset.size_index.n_atoms
+            edges_of = dataset.size_index.n_edges
+        else:
+            graphs = self.trainer.graphs
+            atoms_of = None
         tokens, edges = [], []
         n_steps = max(len(r) for r in plan)
         for step in range(n_steps):
             for rank in range(self.world_size):
                 batch = plan[rank][step] if step < len(plan[rank]) else []
-                tokens.append(sum(graphs[i].n_atoms for i in batch))
-                edges.append(sum(graphs[i].n_edges for i in batch))
+                if atoms_of is not None:
+                    batch = np.asarray(batch, dtype=np.int64)
+                    tokens.append(int(atoms_of[batch].sum()))
+                    edges.append(int(edges_of[batch].sum()))
+                else:
+                    tokens.append(sum(graphs[i].n_atoms for i in batch))
+                    edges.append(sum(graphs[i].n_edges for i in batch))
         report = simulate_epoch(
             np.asarray(tokens, dtype=np.float64),
             np.asarray(edges, dtype=np.float64),

@@ -20,6 +20,7 @@ import numpy as np
 from ..autograd import Tensor, weighted_mse
 from ..autograd.engine import no_grad
 from ..data.labels import ReferencePotential, attach_labels
+from ..data.stream import StreamingLoader, StreamStats
 from ..graphs.batch import GraphBatch, collate
 from ..graphs.molecular_graph import MolecularGraph
 from ..graphs.pipeline import CollateCache, epoch_plan_bins
@@ -50,6 +51,22 @@ class EnergyScaler:
         )
         if per_atom.size == 0:
             raise ValueError("no labeled graphs to fit the scaler")
+        std = float(per_atom.std())
+        return cls(float(per_atom.mean()), std if std > 1e-12 else 1.0)
+
+    @classmethod
+    def fit_index(cls, index) -> "EnergyScaler":
+        """Fit from a :class:`repro.data.SizeIndex` without payload reads.
+
+        Element-for-element the same float64 operations as :meth:`fit`
+        (scalar and vectorized IEEE division/mean/std agree bitwise), so
+        a streamed trainer's scaler — and therefore its losses — matches
+        the in-memory trainer exactly.
+        """
+        labeled = np.isfinite(index.energy)
+        if not labeled.any():
+            raise ValueError("no labeled structures in the size index")
+        per_atom = index.energy[labeled] / index.n_atoms[labeled]
         std = float(per_atom.std())
         return cls(float(per_atom.mean()), std if std > 1e-12 else 1.0)
 
@@ -84,7 +101,19 @@ class Trainer:
     model:
         A :class:`repro.mace.MACE` instance.
     graphs:
-        Labeled training graphs (with neighbor lists).
+        Labeled training graphs (with neighbor lists), fully resident in
+        memory.  Mutually exclusive with ``dataset``.
+    dataset:
+        A :class:`repro.data.ShardedDataset` for out-of-core training:
+        label/edge validation and scaler fitting run from its size index
+        (no payload reads at construction), and ``fit`` /
+        ``train_epoch_bins`` stream batches through a background
+        prefetcher bounded at ``prefetch_depth`` buffers.  Losses are
+        byte-identical to an in-memory trainer over the same structures
+        (gated in ``bench_data.py``).  A dataset passed positionally as
+        ``graphs`` is routed here automatically.
+    prefetch_depth:
+        Streaming look-ahead in batches (2 = double buffering).
     lr:
         Learning rate (paper: 0.005).
     lr_gamma:
@@ -126,31 +155,60 @@ class Trainer:
     def __init__(
         self,
         model: MACE,
-        graphs: Sequence[MolecularGraph],
+        graphs: Optional[Sequence[MolecularGraph]] = None,
         lr: float = 5e-3,
         lr_gamma: float = 0.98,
         ema_decay: float = 0.99,
         loss_weighting: str = "per_atom",
         collate_cache="auto",
         plan_cache="auto",
+        dataset=None,
+        prefetch_depth: int = 2,
     ) -> None:
         if loss_weighting not in ("per_atom", "uniform"):
             raise ValueError(f"unknown loss weighting {loss_weighting!r}")
         self.model = model
-        # Keep the caller's list object when possible: the collate cache
-        # keys on dataset identity, so sharing one cache between this
-        # trainer and sampler.rank_graph_batches requires both to see the
-        # same list.  The list is treated as owned by the trainer —
-        # mutating it after construction bypasses the label validation
-        # below (appended unlabeled graphs are caught per-batch in
-        # _collate; replaced graphs must be followed by cache.clear()).
-        self.graphs = graphs if isinstance(graphs, list) else list(graphs)
-        for i, g in enumerate(self.graphs):
-            if g.energy is None:
-                raise ValueError(f"graph {i} has no energy label")
-            if not g.has_edges:
-                raise ValueError(f"graph {i} has no neighbor list")
-        self.scaler = EnergyScaler.fit(self.graphs)
+        # A ShardedDataset passed positionally routes to the dataset path
+        # (duck-typed on its size index), so call sites that forward
+        # `trainer.graphs` — worker SetupRank, DDP — stream transparently.
+        if dataset is None and graphs is not None and hasattr(graphs, "size_index"):
+            dataset, graphs = graphs, None
+        self.dataset = dataset
+        if dataset is not None:
+            if graphs is not None:
+                raise ValueError("pass graphs or dataset, not both")
+            # Out-of-core path: validation and scaler fitting come from
+            # the size index — setup cost is payload-free and the fitted
+            # scaler is bitwise-equal to the in-memory EnergyScaler.fit.
+            index = dataset.size_index
+            if not dataset.edges_built:
+                raise ValueError(
+                    "dataset was packed without neighbor lists; re-pack with edges"
+                )
+            unlabeled = ~np.isfinite(index.energy)
+            if unlabeled.any():
+                raise ValueError(
+                    f"{int(unlabeled.sum())} structures have no energy label"
+                )
+            self.graphs = dataset
+            self.scaler = EnergyScaler.fit_index(index)
+        else:
+            if graphs is None:
+                raise ValueError("Trainer needs graphs or dataset")
+            # Keep the caller's list object when possible: the collate cache
+            # keys on dataset identity, so sharing one cache between this
+            # trainer and sampler.rank_graph_batches requires both to see the
+            # same list.  The list is treated as owned by the trainer —
+            # mutating it after construction bypasses the label validation
+            # below (appended unlabeled graphs are caught per-batch in
+            # _collate; replaced graphs must be followed by cache.clear()).
+            self.graphs = graphs if isinstance(graphs, list) else list(graphs)
+            for i, g in enumerate(self.graphs):
+                if g.energy is None:
+                    raise ValueError(f"graph {i} has no energy label")
+                if not g.has_edges:
+                    raise ValueError(f"graph {i} has no neighbor list")
+            self.scaler = EnergyScaler.fit(self.graphs)
         self.optimizer = Adam(model.parameters(), lr=lr)
         self.scheduler = ExponentialLR(self.optimizer, gamma=lr_gamma)
         self.ema = ExponentialMovingAverage(model, decay=ema_decay)
@@ -159,6 +217,8 @@ class Trainer:
             collate_cache = CollateCache()
         self.collate_cache = collate_cache
         self.plan_cache = resolve_plan_cache(plan_cache)
+        self.prefetch_depth = int(prefetch_depth)
+        self.stream_stats = StreamStats()
 
     # -- batching -----------------------------------------------------------------
 
@@ -245,14 +305,21 @@ class Trainer:
 
     # -- steps --------------------------------------------------------------------
 
-    def train_step(self, batch_indices: Sequence[int], capacity: int = 0) -> float:
-        """One optimizer step on one mini-batch; returns the loss."""
-        batch = self._collate(batch_indices, capacity)
+    def train_batch(self, batch: GraphBatch) -> float:
+        """One optimizer step on an already-collated batch.
+
+        The compute half of :meth:`train_step`; the streaming path feeds
+        it batches built on the prefetch thread.
+        """
         self.optimizer.zero_grad()
         loss = self._loss_step(batch)
         self.optimizer.step()
         self.ema.update()
         return loss
+
+    def train_step(self, batch_indices: Sequence[int], capacity: int = 0) -> float:
+        """One optimizer step on one mini-batch; returns the loss."""
+        return self.train_batch(self._collate(batch_indices, capacity))
 
     def ddp_step(
         self, rank_batches: Sequence[Sequence[int]], capacity: int = 0
@@ -297,6 +364,36 @@ class Trainer:
         losses = [self.train_step(b, capacity) for b in batches if b]
         self.scheduler.step()
         return float(np.mean(losses))
+
+    def train_epoch_bins(
+        self, bins: Sequence[tuple], stream: Optional[bool] = None
+    ) -> List[float]:
+        """One pass over an epoch plan's ``(indices, capacity)`` bins.
+
+        With a ``dataset`` attached (default ``stream=None`` → auto),
+        batch construction runs on a background prefetch thread through
+        :class:`~repro.data.StreamingLoader` — shard reads and collation
+        overlap the previous batch's compute, double-buffered at
+        ``prefetch_depth``.  Only the prefetch thread touches the
+        collate cache and shard maps during the epoch, so the streamed
+        loss sequence is exactly the serial one (``train_batch`` runs
+        the same ops on the same bytes).  Overlap counters accumulate
+        into ``stream_stats``.  Does **not** advance the scheduler —
+        epoch drivers (``fit``) own that, exactly as with ``train_step``
+        loops.
+        """
+        plan = [(indices, cap) for indices, cap in bins if indices]
+        if stream is None:
+            stream = self.dataset is not None
+        if not stream or len(plan) <= 1:
+            return [self.train_step(indices, cap) for indices, cap in plan]
+        loader = StreamingLoader(plan, self._collate, depth=self.prefetch_depth)
+        try:
+            losses = [self.train_batch(batch) for _, batch in loader]
+        finally:
+            loader.close()
+            self.stream_stats.merge(loader.stats)
+        return losses
 
     def evaluate(self, graphs: Optional[Sequence[MolecularGraph]] = None) -> float:
         """Weighted MSE on a validation set (default: training graphs).
@@ -364,7 +461,7 @@ class Trainer:
         # batches keep their padding accounting.
         for epoch in range(n_epochs):
             bins = epoch_plan_bins(sampler, epoch, rank)
-            losses = [self.train_step(idx, cap) for idx, cap in bins if idx]
+            losses = self.train_epoch_bins(bins)
             self.scheduler.step()
             loss = float(np.mean(losses))
             result.epoch_losses.append(loss)

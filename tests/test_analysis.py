@@ -367,3 +367,53 @@ class TestParallelModuleStateRule:
             "TABLE = {}  # lint: allow-parallel-module-state\n",
         )
         assert findings == []
+
+
+class TestEpochPlanPayloadRule:
+    def test_flags_payload_reads_in_distribution(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "distribution/bad.py",
+            "def balance(ds):\n"
+            "    total = 0\n"
+            "    for i in range(len(ds)):\n"
+            "        g = ds.load(i)\n"
+            "        total += g.positions.shape[0]\n"
+            "    return total\n",
+        )
+        assert [f.rule for f in findings] == ["epoch-plan-payload-read"] * 2
+        assert [f.lineno for f in findings] == [4, 5]
+
+    def test_flags_plan_functions_anywhere(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "training/helpers.py",
+            "def plan_epoch(graphs):\n"
+            "    return [g.edge_index.shape[1] for g in graphs]\n"
+            "def simulate(graphs):\n"
+            "    return [g.edge_index.shape[1] for g in graphs]\n",
+        )
+        assert [f.rule for f in findings] == ["epoch-plan-payload-read"]
+        assert findings[0].lineno == 2  # non-plan functions untouched
+
+    def test_allows_size_index_and_metadata_io(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "distribution/good.py",
+            "import numpy as np\n"
+            "import json\n"
+            "def balance(index, path):\n"
+            "    meta = json.load(open(path))\n"
+            "    sizes = np.load(path)\n"
+            "    return index.n_atoms.sum() + index.shard_id.max()\n",
+        )
+        assert findings == []
+
+    def test_pragma_allows(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "distribution/annotated.py",
+            "def balance(ds):\n"
+            "    return ds.load(0)  # lint: allow-epoch-plan-payload-read\n",
+        )
+        assert findings == []

@@ -267,6 +267,52 @@ class TestParallelDDP:
             np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
         assert len(ddp.step_seconds) == 2
 
+    def test_pipelined_broadcast_stages_and_matches(self, labeled):
+        """Steps after the first flip a staged buffer instead of
+        flattening inline, with bitwise-identical results."""
+        plans = [[[0, 1], [2, 3]], [[4], [5, 0]], [[1, 3], [2]]]
+        model_off, trainer_off = self._fresh(labeled)
+        with make_executor("thread", 2) as ex:
+            off = ParallelDDP(
+                trainer_off, ex, world_size=2, compiled=False,
+                pipeline_broadcast=False,
+            )
+            losses_off = [off.step(plan) for plan in plans]
+            assert off.staged_broadcasts == 0
+            assert off.inline_broadcasts == len(plans)
+            off.close()
+        model_on, trainer_on = self._fresh(labeled)
+        with make_executor("thread", 2) as ex:
+            on = ParallelDDP(trainer_on, ex, world_size=2, compiled=False)
+            losses_on = [on.step(plan) for plan in plans]
+            assert on.inline_broadcasts == 1  # only step 0 flattens inline
+            assert on.staged_broadcasts == len(plans) - 1
+            on.close()
+        assert losses_on == losses_off  # bitwise
+        for pa, pb in zip(model_on.parameters(), model_off.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_pipelined_broadcast_stale_guard(self, labeled):
+        """An out-of-band optimizer step between parallel steps discards
+        the staged buffer (optimizer.t mismatch) and re-flattens inline
+        — the broadcast params still match a serial reference bitwise."""
+        model_ref, trainer_ref = self._fresh(labeled)
+        trainer_ref.ddp_step([[0, 1]])
+        trainer_ref.train_step([2, 3])
+        ref_loss = trainer_ref.ddp_step([[4, 5]])
+        model, trainer = self._fresh(labeled)
+        with make_executor("serial", 1) as ex:
+            ddp = ParallelDDP(trainer, ex, world_size=1, compiled=False)
+            ddp.step([[0, 1]])
+            trainer.train_step([2, 3])  # invalidates the staged params
+            loss = ddp.step([[4, 5]])
+            assert ddp.staged_broadcasts == 0
+            assert ddp.inline_broadcasts == 2
+            ddp.close()
+        assert loss == ref_loss
+        for pa, pb in zip(model_ref.parameters(), model.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
     def test_empty_ranks_sit_out(self, labeled):
         model, trainer = self._fresh(labeled)
         with make_executor("serial", 2) as ex:
